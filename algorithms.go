@@ -1,0 +1,251 @@
+package dcluster
+
+import (
+	"fmt"
+
+	"dcluster/internal/analysis"
+	"dcluster/internal/broadcast"
+	"dcluster/internal/core"
+	"dcluster/internal/geom"
+	"dcluster/internal/sim"
+)
+
+// Stats summarises one protocol execution.
+type Stats struct {
+	Rounds        int64 // synchronous SINR rounds
+	Transmissions int64 // node-rounds spent transmitting
+	Deliveries    int64 // successful receptions
+	MaxNodeTx     int64 // per-node energy: most transmissions by one node
+}
+
+func statsOf(e *sim.Env) Stats {
+	s := e.Stats()
+	return Stats{
+		Rounds:        s.Rounds,
+		Transmissions: s.Transmissions,
+		Deliveries:    s.Deliveries,
+		MaxNodeTx:     e.Energy().Max,
+	}
+}
+
+// ClusterResult is the output of the clustering algorithm (Theorem 1).
+type ClusterResult struct {
+	// ClusterOf[i] is node i's cluster ID (the centre's protocol ID).
+	ClusterOf []int32
+	// Center maps cluster IDs to centre node indices.
+	Center map[int32]int
+	// Stats of the execution.
+	Stats Stats
+}
+
+// NumClusters returns the number of distinct clusters.
+func (r *ClusterResult) NumClusters() int { return len(r.Center) }
+
+// Cluster runs the deterministic distributed clustering (Alg. 6,
+// Theorem 1): every node ends in a cluster of radius ≤ 1, cluster centres
+// are pairwise ≥ 1−ε apart, and every unit ball meets O(1) clusters.
+func (n *Network) Cluster() (*ClusterResult, error) {
+	env, err := n.env()
+	if err != nil {
+		return nil, err
+	}
+	a, err := core.Cluster(env, core.ClusterInput{
+		Cfg:   n.cfg,
+		Nodes: n.allNodes(),
+		Gamma: n.Density(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := n.validateClustering(a.ClusterOf, a.Center, 1.0); err != nil {
+		return nil, fmt.Errorf("dcluster: clustering failed validation: %w", err)
+	}
+	return &ClusterResult{ClusterOf: a.ClusterOf, Center: a.Center, Stats: statsOf(env)}, nil
+}
+
+// LocalBroadcastResult is the output of LocalBroadcast (Theorem 2).
+type LocalBroadcastResult struct {
+	// Clustering used by the schedule.
+	Clustering *ClusterResult
+	// Label[i] is node i's imperfect label.
+	Label []int32
+	// Heard[u][v] reports that u received v's message.
+	Heard map[int]map[int]bool
+	// Stats of the execution.
+	Stats Stats
+}
+
+// Complete reports whether every node's message reached all its
+// communication-graph neighbours.
+func (r *LocalBroadcastResult) Complete(n *Network) bool {
+	for v, ns := range n.CommGraph() {
+		for _, u := range ns {
+			if !r.Heard[u][v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LocalBroadcast runs Algorithm 7 (Theorem 2): every node delivers its
+// message to all communication-graph neighbours in O(∆·log N·log*N) rounds.
+func (n *Network) LocalBroadcast() (*LocalBroadcastResult, error) {
+	env, err := n.env()
+	if err != nil {
+		return nil, err
+	}
+	res, err := broadcast.Local(env, broadcast.LocalInput{
+		Cfg:   n.cfg,
+		Nodes: n.allNodes(),
+		Delta: n.Density(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &LocalBroadcastResult{
+		Clustering: &ClusterResult{ClusterOf: res.Assignment.ClusterOf, Center: res.Assignment.Center},
+		Label:      res.Label,
+		Heard:      res.Heard,
+		Stats:      statsOf(env),
+	}, nil
+}
+
+// GlobalBroadcastResult is the output of global broadcast (Theorem 3).
+type GlobalBroadcastResult struct {
+	// AwakePhase[i] is the phase at which node i received the message
+	// (0 for sources), or -1 if unreachable.
+	AwakePhase []int
+	// AwakeRound[i] is the round of first reception, or -1.
+	AwakeRound []int64
+	// PhaseTrace carries the per-phase statistics (Figure 1 data).
+	PhaseTrace []broadcast.PhaseStats
+	// Stats of the execution.
+	Stats Stats
+}
+
+// Coverage returns the fraction of nodes reached.
+func (r *GlobalBroadcastResult) Coverage() float64 {
+	n, c := len(r.AwakePhase), 0
+	for _, p := range r.AwakePhase {
+		if p >= 0 {
+			c++
+		}
+	}
+	return float64(c) / float64(n)
+}
+
+// GlobalBroadcast runs Algorithm 8 from a single source (Theorem 3):
+// O(D·(∆+log*N)·log N) rounds.
+func (n *Network) GlobalBroadcast(source int) (*GlobalBroadcastResult, error) {
+	return n.MultiSourceBroadcast([]int{source})
+}
+
+// MultiSourceBroadcast runs the sparse multiple-source broadcast: sources
+// must be pairwise farther than 1−ε apart.
+func (n *Network) MultiSourceBroadcast(sources []int) (*GlobalBroadcastResult, error) {
+	env, err := n.env()
+	if err != nil {
+		return nil, err
+	}
+	if err := broadcast.ValidateSourcesSparse(env, sources); err != nil {
+		return nil, err
+	}
+	res, err := broadcast.Global(env, broadcast.GlobalInput{
+		Cfg:     n.cfg,
+		Sources: sources,
+		Delta:   n.Density(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &GlobalBroadcastResult{
+		AwakePhase: res.AwakeAtPhase,
+		AwakeRound: res.AwakeRound,
+		PhaseTrace: res.Phases,
+		Stats:      statsOf(env),
+	}, nil
+}
+
+// LeaderResult is the output of leader election (Theorem 5).
+type LeaderResult struct {
+	// Leader is the elected node index, LeaderID its protocol ID.
+	Leader   int
+	LeaderID int
+	// Probes is the number of binary-search SMSB executions.
+	Probes int
+	// Stats of the execution.
+	Stats Stats
+}
+
+// ElectLeader runs the Theorem 5 protocol: clustering condenses the network
+// to its centres; binary search over the ID space elects the minimum-ID
+// centre in O(D·(∆+log*N)·log²N) rounds.
+func (n *Network) ElectLeader() (*LeaderResult, error) {
+	env, err := n.env()
+	if err != nil {
+		return nil, err
+	}
+	res, err := broadcast.Leader(env, broadcast.LeaderInput{
+		Cfg:   n.cfg,
+		Nodes: n.allNodes(),
+		Delta: n.Density(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &LeaderResult{
+		Leader:   res.Leader,
+		LeaderID: res.LeaderID,
+		Probes:   res.Probes,
+		Stats:    statsOf(env),
+	}, nil
+}
+
+// WakeUpResult is the output of the wake-up protocol (Theorem 4).
+type WakeUpResult struct {
+	// AwakeRound[i]: round node i became active, or -1.
+	AwakeRound []int64
+	// Epochs executed.
+	Epochs int
+	// Stats of the execution.
+	Stats Stats
+}
+
+// WakeUp runs the Theorem 4 protocol: spontaneousAt[i] is the round node i
+// wakes spontaneously (-1 = only by message). All nodes are activated in
+// O(D·(∆+log*N)·log N) rounds after the first spontaneous wake-up.
+func (n *Network) WakeUp(spontaneousAt []int64) (*WakeUpResult, error) {
+	env, err := n.env()
+	if err != nil {
+		return nil, err
+	}
+	res, err := broadcast.WakeUp(env, broadcast.WakeUpInput{
+		Cfg:           n.cfg,
+		SpontaneousAt: spontaneousAt,
+		Delta:         n.Density(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &WakeUpResult{AwakeRound: res.AwakeRound, Epochs: res.Epochs, Stats: statsOf(env)}, nil
+}
+
+// ClusterStats summarises a clustering for reporting: sizes, max radius,
+// minimum centre distance, clusters per unit ball.
+func (n *Network) ClusterStats(r *ClusterResult) analysis.ClusterStats {
+	return analysis.ComputeClusterStats(n.pts, r.ClusterOf, r.Center)
+}
+
+// ValidateClustering re-checks a ClusterResult against the paper's
+// 1-clustering conditions (used by tests and examples).
+func (n *Network) ValidateClustering(r *ClusterResult) error {
+	if err := n.validateClustering(r.ClusterOf, r.Center, 1.0); err != nil {
+		return err
+	}
+	budget := geom.ChiUpper(2, 1-n.params.Eps)
+	if got := analysis.ClustersPerUnitBall(n.pts, r.ClusterOf); got > budget {
+		return fmt.Errorf("dcluster: %d clusters meet one unit ball (budget %d)", got, budget)
+	}
+	return nil
+}

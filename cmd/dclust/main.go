@@ -1,0 +1,126 @@
+// Command dclust runs the paper's algorithms on generated topologies and
+// prints round costs and structural statistics.
+//
+// Usage:
+//
+//	dclust -algo cluster -topology disk -n 100 -seed 42
+//	dclust -algo local   -topology clumps -n 80
+//	dclust -algo global  -topology strip -n 60 -length 8
+//	dclust -algo leader  -topology line -n 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dcluster"
+)
+
+func main() {
+	var (
+		algo     = flag.String("algo", "cluster", "algorithm: cluster | local | global | leader | wakeup")
+		topology = flag.String("topology", "disk", "topology: disk | square | strip | clumps | line | grid")
+		n        = flag.Int("n", 64, "number of nodes")
+		radius   = flag.Float64("radius", 2.0, "disk radius / square side")
+		length   = flag.Float64("length", 8, "strip length")
+		seed     = flag.Int64("seed", 1, "topology seed")
+		source   = flag.Int("source", 0, "source node for global broadcast")
+		quiet    = flag.Bool("q", false, "print only the result line")
+	)
+	flag.Parse()
+
+	pts, err := buildTopology(*topology, *n, *radius, *length, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	net, err := dcluster.NewNetwork(pts)
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		fmt.Printf("topology=%s n=%d density=%d maxdeg=%d diameter=%d connected=%v\n",
+			*topology, net.Len(), net.Density(), net.MaxDegree(), net.Diameter(), net.Connected())
+	}
+
+	switch *algo {
+	case "cluster":
+		res, err := net.Cluster()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cluster: clusters=%d rounds=%d transmissions=%d maxNodeTx=%d\n",
+			res.NumClusters(), res.Stats.Rounds, res.Stats.Transmissions, res.Stats.MaxNodeTx)
+		if !*quiet {
+			fmt.Println("stats:", net.ClusterStats(res))
+		}
+	case "local":
+		res, err := net.LocalBroadcast()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("local-broadcast: complete=%v rounds=%d transmissions=%d\n",
+			res.Complete(net), res.Stats.Rounds, res.Stats.Transmissions)
+	case "global":
+		res, err := net.GlobalBroadcast(*source)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("global-broadcast: coverage=%.2f phases=%d rounds=%d\n",
+			res.Coverage(), len(res.PhaseTrace), res.Stats.Rounds)
+	case "leader":
+		res, err := net.ElectLeader()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("leader: node=%d id=%d probes=%d rounds=%d\n",
+			res.Leader, res.LeaderID, res.Probes, res.Stats.Rounds)
+	case "wakeup":
+		spont := make([]int64, net.Len())
+		for i := range spont {
+			spont[i] = -1
+		}
+		spont[*source] = 0
+		res, err := net.WakeUp(spont)
+		if err != nil {
+			fatal(err)
+		}
+		all := true
+		for _, r := range res.AwakeRound {
+			if r < 0 {
+				all = false
+			}
+		}
+		fmt.Printf("wakeup: all-awake=%v epochs=%d rounds=%d\n", all, res.Epochs, res.Stats.Rounds)
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+}
+
+func buildTopology(kind string, n int, radius, length float64, seed int64) ([]dcluster.Point, error) {
+	switch kind {
+	case "disk":
+		return dcluster.UniformDisk(n, radius, seed), nil
+	case "square":
+		return dcluster.UniformSquare(n, radius, seed), nil
+	case "strip":
+		return dcluster.ConnectedStrip(n, length, 1, 0.7, seed), nil
+	case "clumps":
+		return dcluster.GaussianClusters(n, 4, radius*2, 0.3, seed), nil
+	case "line":
+		return dcluster.LinePath(n, 0.7), nil
+	case "grid":
+		k := 1
+		for k*k < n {
+			k++
+		}
+		return dcluster.GridLattice(k, 0.6, 0.05, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", kind)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dclust:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Command experiments regenerates the paper-reproduction tables and
+// figures (DESIGN.md experiments E1–E9) as text reports.
+//
+// Usage:
+//
+//	experiments -run all            # every experiment, quick scale
+//	experiments -run table1 -full   # one experiment at EXPERIMENTS.md scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dcluster/internal/exp"
+)
+
+func main() {
+	var (
+		run  = flag.String("run", "all", "experiment: table1|table2|fig1|fig2|fig3|fig4|fig56|fig7|clustering|all")
+		full = flag.Bool("full", false, "run at full (EXPERIMENTS.md) scale")
+	)
+	flag.Parse()
+
+	size := exp.Quick
+	if *full {
+		size = exp.Full
+	}
+
+	runners := map[string]func(exp.Size) (string, error){
+		"table1":     exp.Table1,
+		"table2":     exp.Table2,
+		"fig1":       exp.Fig1,
+		"fig2":       exp.Fig2,
+		"fig3":       exp.Fig3,
+		"fig4":       exp.Fig4,
+		"fig56":      exp.Fig56,
+		"fig7":       exp.Fig7,
+		"clustering": exp.ClusteringCost,
+	}
+	order := []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig56", "fig7", "clustering"}
+
+	var names []string
+	if *run == "all" {
+		names = order
+	} else {
+		if _, ok := runners[*run]; !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (valid: %s, all)\n", *run, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		names = []string{*run}
+	}
+
+	for _, name := range names {
+		out, err := runners[name](size)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Println(strings.Repeat("─", 72))
+	}
+}

@@ -1,0 +1,174 @@
+// Package dcluster is a Go implementation of "Deterministic Digital
+// Clustering of Wireless Ad Hoc Networks" (Jurdziński, Kowalski, Różański,
+// Stachowiak — PODC 2018): deterministic distributed clustering, local
+// broadcast, global broadcast, wake-up and leader election for ad hoc
+// wireless networks under the pure SINR model — no randomization, no
+// location information, no carrier sensing.
+//
+// The package bundles a synchronous SINR simulator, the combinatorial
+// selector families the algorithms are built from (strongly selective
+// families, witnessed strong selectors, witnessed cluster-aware strong
+// selectors), the full algorithm stack of the paper, the baselines its
+// comparison tables cite, and the Theorem 6 lower-bound gadgets.
+//
+// Quick start:
+//
+//	pts := dcluster.UniformDisk(100, 3, 42)
+//	net, err := dcluster.NewNetwork(pts)
+//	if err != nil { ... }
+//	res, err := net.Cluster()
+//	// res.ClusterOf[i] is node i's cluster; res.Rounds the SINR round cost.
+package dcluster
+
+import (
+	"fmt"
+
+	"dcluster/internal/analysis"
+	"dcluster/internal/config"
+	"dcluster/internal/geom"
+	"dcluster/internal/sim"
+	"dcluster/internal/sinr"
+)
+
+// Point is a location in the plane.
+type Point = geom.Point
+
+// Pt is shorthand for Point{X: x, Y: y}.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// Params are the SINR model parameters (α, β, noise, power, ε).
+type Params = sinr.Params
+
+// DefaultParams returns α = 3, β = 2, noise = 1, P = β·noise (transmission
+// range exactly 1) and ε = 0.25.
+func DefaultParams() Params { return sinr.DefaultParams() }
+
+// Config carries the protocol constants (κ, ρ, selector factors, loop
+// budgets). See the package documentation of internal/config for the
+// meaning of each knob.
+type Config = config.Config
+
+// DefaultConfig returns the calibrated constants used by the test suite.
+func DefaultConfig() Config { return config.Default() }
+
+// TheoreticalConfig returns paper-faithful worst-case constants (slow).
+func TheoreticalConfig(p Params) Config { return config.Theoretical(p) }
+
+// Topology generators, re-exported for convenience.
+var (
+	// UniformDisk scatters n points uniformly in a disk of a given radius.
+	UniformDisk = geom.UniformDisk
+	// UniformSquare scatters n points uniformly in a square of a given side.
+	UniformSquare = geom.UniformSquare
+	// ConnectedStrip builds a connected multi-hop strip (length, height).
+	ConnectedStrip = geom.ConnectedStrip
+	// GaussianClusters builds clumpy deployments (n, clumps, side, stddev).
+	GaussianClusters = geom.GaussianClusters
+	// LinePath places n points on a line with fixed spacing.
+	LinePath = geom.LinePath
+	// GridLattice places points on a jittered lattice.
+	GridLattice = geom.GridLattice
+)
+
+// Network is a static wireless network instance: node positions, the SINR
+// field, protocol configuration and ID assignment. All algorithm entry
+// points run on a fresh synchronous execution and report their own round
+// costs; the Network itself is immutable and safe to reuse sequentially.
+type Network struct {
+	pts    []Point
+	params Params
+	cfg    Config
+	field  *sinr.Field
+	ids    []int
+	idcap  int
+}
+
+// Option customises NewNetwork.
+type Option func(*Network)
+
+// WithParams overrides the SINR parameters.
+func WithParams(p Params) Option { return func(n *Network) { n.params = p } }
+
+// WithConfig overrides the protocol constants.
+func WithConfig(c Config) Option { return func(n *Network) { n.cfg = c } }
+
+// WithIDs assigns explicit protocol IDs (unique, in [1..idBound]).
+func WithIDs(ids []int, idBound int) Option {
+	return func(n *Network) {
+		n.ids = ids
+		n.idcap = idBound
+	}
+}
+
+// NewNetwork builds a network over the given node positions.
+func NewNetwork(pts []Point, opts ...Option) (*Network, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("dcluster: empty point set")
+	}
+	n := &Network{
+		pts:    append([]Point(nil), pts...),
+		params: DefaultParams(),
+		cfg:    DefaultConfig(),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	if err := n.params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := n.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f, err := sinr.NewField(n.params, n.pts)
+	if err != nil {
+		return nil, err
+	}
+	n.field = f
+	return n, nil
+}
+
+// env creates a fresh synchronous execution over the shared field.
+func (n *Network) env() (*sim.Env, error) {
+	return sim.NewEnv(n.field, n.ids, n.idcap)
+}
+
+// Len returns the number of nodes.
+func (n *Network) Len() int { return len(n.pts) }
+
+// Positions returns a copy of the node positions.
+func (n *Network) Positions() []Point { return append([]Point(nil), n.pts...) }
+
+// Params returns the SINR parameters.
+func (n *Network) Params() Params { return n.params }
+
+// Density returns the network density Γ: the maximum number of nodes in a
+// unit ball (node-centred).
+func (n *Network) Density() int { return geom.Density(n.pts, 1) }
+
+// MaxDegree returns the maximum degree of the communication graph.
+func (n *Network) MaxDegree() int { return geom.MaxDegree(n.pts, n.params.GraphRadius()) }
+
+// Diameter returns (an estimate of) the hop diameter of the communication
+// graph.
+func (n *Network) Diameter() int { return geom.Diameter(n.pts, n.params.GraphRadius()) }
+
+// Connected reports whether the communication graph is connected.
+func (n *Network) Connected() bool { return geom.Connected(n.pts, n.params.GraphRadius()) }
+
+// CommGraph returns the communication graph adjacency lists.
+func (n *Network) CommGraph() [][]int { return geom.CommGraph(n.pts, n.params.GraphRadius()) }
+
+// allNodes returns 0..n−1.
+func (n *Network) allNodes() []int {
+	out := make([]int, len(n.pts))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// validateClustering checks the 1-clustering conditions on an assignment.
+func (n *Network) validateClustering(clusterOf []int32, center map[int32]int, r float64) error {
+	c := analysis.Clustering{ClusterOf: clusterOf, Center: center}
+	return c.Validate(n.pts, r, n.params.Eps, true)
+}

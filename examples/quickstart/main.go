@@ -1,0 +1,52 @@
+// Quickstart: build a random ad hoc network, run the deterministic
+// clustering of Theorem 1, and inspect the result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dcluster"
+)
+
+func main() {
+	// 100 sensors scattered uniformly in a disk of radius 3 (the SINR
+	// transmission range is normalised to 1).
+	pts := dcluster.UniformDisk(100, 3, 42)
+	net, err := dcluster.NewNetwork(pts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: n=%d density=%d maxdeg=%d diameter=%d connected=%v\n",
+		net.Len(), net.Density(), net.MaxDegree(), net.Diameter(), net.Connected())
+
+	res, err := net.Cluster()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clustering: %d clusters in %d SINR rounds (%d transmissions)\n",
+		res.NumClusters(), res.Stats.Rounds, res.Stats.Transmissions)
+
+	// The paper's guarantees, re-checked:
+	if err := net.ValidateClustering(res); err != nil {
+		log.Fatalf("invariant violated: %v", err)
+	}
+	fmt.Println("verified: every cluster within a unit ball, centres ≥ 1−ε apart, O(1) clusters per unit ball")
+
+	// Cluster size histogram.
+	sizes := map[int32]int{}
+	for _, c := range res.ClusterOf {
+		sizes[c]++
+	}
+	hist := map[int]int{}
+	for _, s := range sizes {
+		hist[s]++
+	}
+	fmt.Print("cluster sizes: ")
+	for s := 1; s <= net.Len(); s++ {
+		if hist[s] > 0 {
+			fmt.Printf("%d×%d ", hist[s], s)
+		}
+	}
+	fmt.Println()
+}

@@ -1,0 +1,50 @@
+// Sensorfield: the paper's motivating scenario — a dense sensor deployment
+// (clumpy, as after an airdrop) where every sensor must announce its
+// reading to all neighbours (local broadcast, Theorem 2). Compares the
+// deterministic algorithm against the randomized known-∆ baseline [16].
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dcluster"
+	"dcluster/internal/baselines"
+	"dcluster/internal/geom"
+	"dcluster/internal/sim"
+	"dcluster/internal/sinr"
+)
+
+func main() {
+	// 80 sensors in 5 clumps over a 6×6 field.
+	pts := dcluster.GaussianClusters(80, 5, 6, 0.35, 7)
+	net, err := dcluster.NewNetwork(pts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sensor field: n=%d density=%d maxdeg=%d\n", net.Len(), net.Density(), net.MaxDegree())
+
+	// Deterministic local broadcast (no randomness, no GPS, no sensing).
+	res, err := net.LocalBroadcast()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deterministic (Alg. 7): complete=%v rounds=%d\n", res.Complete(net), res.Stats.Rounds)
+
+	// Randomized baseline with known ∆ [16].
+	f, err := sinr.NewField(sinr.DefaultParams(), pts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	env := sim.MustEnv(f, nil, 0)
+	nodes := make([]int, len(pts))
+	for i := range nodes {
+		nodes[i] = i
+	}
+	known := baselines.RandLocalKnownDelta(env, nodes, geom.Density(pts, 1), 6, 42)
+	fmt.Printf("randomized [16]:       completion=%d (budget %d)\n", known.CompletionRound, known.Rounds)
+
+	fmt.Println("\nthe deterministic schedule needs no coin flips and no density estimation;")
+	fmt.Println("its asymptotic cost is only polylog(n) over the universal Ω(∆) bound (Theorem 2),")
+	fmt.Println("though the worst-case constants are large at this scale — the value is the guarantee.")
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"dcluster/internal/geom"
+)
+
+// ClusterStats summarises a cluster assignment for reporting.
+type ClusterStats struct {
+	Clusters    int
+	MinSize     int
+	MaxSize     int
+	MeanSize    float64
+	MaxRadius   float64 // max distance from a member to its centre
+	MinCentreD  float64 // min pairwise centre distance
+	PerUnitBall int     // max distinct clusters meeting one unit ball
+}
+
+// ComputeClusterStats computes summary statistics of an assignment.
+// center maps cluster IDs to centre point indices.
+func ComputeClusterStats(pts []geom.Point, clusterOf []int32, center map[int32]int) ClusterStats {
+	sizes := map[int32]int{}
+	maxRadius := 0.0
+	for i, φ := range clusterOf {
+		if φ == Unassigned {
+			continue
+		}
+		sizes[φ]++
+		if c, ok := center[φ]; ok {
+			if d := geom.Dist(pts[i], pts[c]); d > maxRadius {
+				maxRadius = d
+			}
+		}
+	}
+	st := ClusterStats{
+		Clusters:   len(sizes),
+		MinSize:    math.MaxInt32,
+		MaxRadius:  maxRadius,
+		MinCentreD: math.Inf(1),
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+		if s < st.MinSize {
+			st.MinSize = s
+		}
+		if s > st.MaxSize {
+			st.MaxSize = s
+		}
+	}
+	if st.Clusters == 0 {
+		st.MinSize = 0
+	} else {
+		st.MeanSize = float64(total) / float64(st.Clusters)
+	}
+	centres := make([]int, 0, len(center))
+	for _, c := range center {
+		centres = append(centres, c)
+	}
+	sort.Ints(centres)
+	for a := 0; a < len(centres); a++ {
+		for b := a + 1; b < len(centres); b++ {
+			if d := geom.Dist(pts[centres[a]], pts[centres[b]]); d < st.MinCentreD {
+				st.MinCentreD = d
+			}
+		}
+	}
+	if math.IsInf(st.MinCentreD, 1) {
+		st.MinCentreD = 0
+	}
+	st.PerUnitBall = ClustersPerUnitBall(pts, clusterOf)
+	return st
+}
+
+// String renders the statistics in one line.
+func (s ClusterStats) String() string {
+	return fmt.Sprintf("clusters=%d sizes[min/mean/max]=%d/%.1f/%d maxRadius=%.3f minCentreDist=%.3f perUnitBall=%d",
+		s.Clusters, s.MinSize, s.MeanSize, s.MaxSize, s.MaxRadius, s.MinCentreD, s.PerUnitBall)
+}
+
+// SizeHistogram returns "count×size" tokens in ascending size order.
+func SizeHistogram(clusterOf []int32) string {
+	sizes := map[int32]int{}
+	for _, φ := range clusterOf {
+		if φ != Unassigned {
+			sizes[φ]++
+		}
+	}
+	hist := map[int]int{}
+	maxS := 0
+	for _, s := range sizes {
+		hist[s]++
+		if s > maxS {
+			maxS = s
+		}
+	}
+	var b strings.Builder
+	for s := 1; s <= maxS; s++ {
+		if hist[s] > 0 {
+			fmt.Fprintf(&b, "%d×%d ", hist[s], s)
+		}
+	}
+	return strings.TrimSpace(b.String())
+}

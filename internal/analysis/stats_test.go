@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"dcluster/internal/geom"
+)
+
+func TestComputeClusterStats(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0.4, 0), geom.Pt(3, 0), geom.Pt(3.6, 0)}
+	clusterOf := []int32{1, 1, 2, 2}
+	center := map[int32]int{1: 0, 2: 2}
+	st := ComputeClusterStats(pts, clusterOf, center)
+	if st.Clusters != 2 || st.MinSize != 2 || st.MaxSize != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MeanSize != 2 {
+		t.Errorf("mean = %v", st.MeanSize)
+	}
+	if st.MaxRadius < 0.59 || st.MaxRadius > 0.61 {
+		t.Errorf("maxRadius = %v, want 0.6", st.MaxRadius)
+	}
+	if st.MinCentreD != 3 {
+		t.Errorf("minCentreD = %v, want 3", st.MinCentreD)
+	}
+	if st.PerUnitBall != 1 {
+		t.Errorf("perUnitBall = %v", st.PerUnitBall)
+	}
+	if !strings.Contains(st.String(), "clusters=2") {
+		t.Errorf("String() = %q", st.String())
+	}
+}
+
+func TestComputeClusterStatsEmpty(t *testing.T) {
+	st := ComputeClusterStats(nil, nil, nil)
+	if st.Clusters != 0 || st.MinSize != 0 || st.MinCentreD != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+}
+
+func TestComputeClusterStatsIgnoresUnassigned(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(5, 5)}
+	st := ComputeClusterStats(pts, []int32{1, Unassigned}, map[int32]int{1: 0})
+	if st.Clusters != 1 || st.MaxSize != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSizeHistogram(t *testing.T) {
+	got := SizeHistogram([]int32{1, 1, 2, 3, 3, 3, Unassigned})
+	want := "1×1 1×2 1×3"
+	if got != want {
+		t.Errorf("SizeHistogram = %q, want %q", got, want)
+	}
+	if SizeHistogram(nil) != "" {
+		t.Error("empty histogram must be empty string")
+	}
+}

@@ -1,0 +1,161 @@
+package baselines
+
+import (
+	"testing"
+
+	"dcluster/internal/geom"
+	"dcluster/internal/sim"
+	"dcluster/internal/sinr"
+)
+
+func newEnv(t *testing.T, pts []geom.Point) *sim.Env {
+	t.Helper()
+	f, err := sinr.NewField(sinr.DefaultParams(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.MustEnv(f, nil, 0)
+}
+
+func allNodes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func verifyLocal(t *testing.T, env *sim.Env, pts []geom.Point, res *LocalResult) {
+	t.Helper()
+	if res.CompletionRound < 0 {
+		t.Fatal("baseline did not complete within its budget")
+	}
+	adj := geom.CommGraph(pts, geomRadius(env))
+	for v, ns := range adj {
+		for _, u := range ns {
+			if !res.Heard[u][v] {
+				t.Errorf("neighbour %d never heard %d", u, v)
+			}
+		}
+	}
+}
+
+func TestRandLocalKnownDelta(t *testing.T) {
+	pts := geom.UniformDisk(40, 1.8, 3)
+	env := newEnv(t, pts)
+	res := RandLocalKnownDelta(env, allNodes(len(pts)), geom.Density(pts, 1), 6, 42)
+	verifyLocal(t, env, pts, res)
+}
+
+func TestRandLocalSweep(t *testing.T) {
+	pts := geom.UniformDisk(30, 1.8, 5)
+	env := newEnv(t, pts)
+	res := RandLocalSweep(env, allNodes(len(pts)), 3, 43)
+	verifyLocal(t, env, pts, res)
+}
+
+func TestFeedbackLocal(t *testing.T) {
+	pts := geom.UniformDisk(30, 1.8, 7)
+	env := newEnv(t, pts)
+	res := FeedbackLocal(env, allNodes(len(pts)), 200000, 44)
+	verifyLocal(t, env, pts, res)
+}
+
+func TestFeedbackFasterThanKnownDeltaOnDenseClump(t *testing.T) {
+	// The feedback model's completion should beat the oblivious Θ(∆ log n)
+	// schedule on a dense single-ball instance (the Table 1 separation).
+	pts := geom.UniformDisk(36, 0.45, 11)
+	delta := geom.Density(pts, 1)
+
+	envA := newEnv(t, pts)
+	known := RandLocalKnownDelta(envA, allNodes(len(pts)), delta, 6, 42)
+	envB := newEnv(t, pts)
+	fb := FeedbackLocal(envB, allNodes(len(pts)), 200000, 42)
+	if known.CompletionRound < 0 || fb.CompletionRound < 0 {
+		t.Fatal("baselines must complete")
+	}
+	if fb.CompletionRound > known.Rounds {
+		t.Errorf("feedback completion %d slower than oblivious budget %d", fb.CompletionRound, known.Rounds)
+	}
+}
+
+func TestGridLocal(t *testing.T) {
+	pts := geom.UniformDisk(30, 1.8, 9)
+	env := newEnv(t, pts)
+	res, err := GridLocal(env, allNodes(len(pts)), geom.Density(pts, 1), 4, 1, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyLocal(t, env, pts, res)
+}
+
+func TestGridLocalNeedsPositions(t *testing.T) {
+	f, err := sinr.NewFieldFromDistances(sinr.DefaultParams(), [][]float64{{0, 1}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := sim.MustEnv(f, nil, 0)
+	if _, err := GridLocal(env, []int{0, 1}, 1, 3, 1, 1); err == nil {
+		t.Error("GridLocal without coordinates must error")
+	}
+}
+
+func TestDecayGlobal(t *testing.T) {
+	pts := geom.LinePath(15, 0.7)
+	env := newEnv(t, pts)
+	res := DecayGlobal(env, 0, geom.Density(pts, 1), 100000, 45)
+	if !res.Covered {
+		t.Fatal("decay broadcast did not cover the line")
+	}
+	// Monotone wake order along the line (sanity of the flooding shape).
+	if res.AwakeRound[0] != 0 {
+		t.Error("source awake round must be 0")
+	}
+}
+
+func TestGridDecayGlobal(t *testing.T) {
+	pts := geom.LinePath(15, 0.7)
+	env := newEnv(t, pts)
+	res, err := GridDecayGlobal(env, 0, geom.Density(pts, 1), 3, 200000, 46)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered {
+		t.Fatal("grid decay broadcast did not cover the line")
+	}
+}
+
+func TestRoundRobinGlobal(t *testing.T) {
+	pts := geom.LinePath(10, 0.7)
+	env := newEnv(t, pts)
+	res := RoundRobinGlobal(env, 0, 1_000_000)
+	if !res.Covered {
+		t.Fatal("round robin did not cover")
+	}
+	// Θ(n·D): here D = 9 hops, so ≥ (D−1)·1 rounds at the very least and
+	// roughly n rounds per hop.
+	if res.Rounds < 9 {
+		t.Errorf("suspiciously fast round robin: %d rounds", res.Rounds)
+	}
+}
+
+func TestDecayGlobalBudgetExpires(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(50, 0)}
+	env := newEnv(t, pts)
+	res := DecayGlobal(env, 0, 1, 100, 47)
+	if res.Covered {
+		t.Error("unreachable node cannot be covered")
+	}
+	if res.AwakeRound[1] != -1 {
+		t.Error("unreachable node must have AwakeRound -1")
+	}
+}
+
+func TestBaselinesDeterministicForSeed(t *testing.T) {
+	pts := geom.UniformDisk(25, 1.5, 13)
+	r1 := RandLocalKnownDelta(newEnv(t, pts), allNodes(len(pts)), 6, 6, 99)
+	r2 := RandLocalKnownDelta(newEnv(t, pts), allNodes(len(pts)), 6, 6, 99)
+	if r1.CompletionRound != r2.CompletionRound || r1.Rounds != r2.Rounds {
+		t.Error("same seed must reproduce the run exactly")
+	}
+}

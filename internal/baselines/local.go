@@ -1,0 +1,275 @@
+// Package baselines implements faithful-shape analogues of the algorithms
+// the paper's Tables 1–2 compare against: randomized local broadcast with
+// and without known density [16,35], feedback-assisted local broadcast
+// [19,4], location-aware deterministic local broadcast [22], randomized
+// decay global broadcast [10,25], location-aware randomized global
+// broadcast [24], and the trivial deterministic round-robin flooding (the
+// weak-links deterministic row [27]). See DESIGN.md §3.4 for the documented
+// simplifications.
+//
+// Baselines that rely on extra model features take them from the simulator
+// explicitly: feedback is an oracle bit granted to transmitters, location
+// baselines read node coordinates. Completion rounds are measured by the
+// orchestrator (the standard way randomized algorithms are benchmarked);
+// the protocols themselves run oblivious round budgets.
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dcluster/internal/geom"
+	"dcluster/internal/selectors"
+	"dcluster/internal/sim"
+)
+
+// LocalResult reports a local-broadcast baseline run.
+type LocalResult struct {
+	// Heard[u][v] — u received v's payload at some round.
+	Heard map[int]map[int]bool
+	// Rounds is the full (oblivious) schedule length executed.
+	Rounds int64
+	// CompletionRound is the first round after which every node had been
+	// heard by all its communication-graph neighbours, or -1 if the budget
+	// expired first.
+	CompletionRound int64
+}
+
+// localTracker accumulates heard sets and detects completion.
+type localTracker struct {
+	heard      map[int]map[int]bool
+	need       map[int]map[int]bool // v -> neighbours that still must hear v
+	remaining  int
+	completion int64
+}
+
+func newLocalTracker(env *sim.Env, nodes []int) *localTracker {
+	adj := env.F.CommGraph()
+	t := &localTracker{
+		heard:      map[int]map[int]bool{},
+		need:       map[int]map[int]bool{},
+		completion: -1,
+	}
+	inSet := map[int]bool{}
+	for _, v := range nodes {
+		inSet[v] = true
+	}
+	for _, v := range nodes {
+		t.need[v] = map[int]bool{}
+		for _, u := range adj[v] {
+			if inSet[u] {
+				t.need[v][u] = true
+				t.remaining++
+			}
+		}
+	}
+	return t
+}
+
+func (t *localTracker) record(env *sim.Env, ds []sim.Delivery) {
+	for _, d := range ds {
+		if t.heard[d.Receiver] == nil {
+			t.heard[d.Receiver] = map[int]bool{}
+		}
+		t.heard[d.Receiver][d.Sender] = true
+		if t.need[d.Sender][d.Receiver] {
+			delete(t.need[d.Sender], d.Receiver)
+			t.remaining--
+			if t.remaining == 0 && t.completion < 0 {
+				t.completion = env.Rounds()
+			}
+		}
+	}
+}
+
+func (t *localTracker) done() bool { return t.remaining == 0 }
+
+// RandLocalKnownDelta is the [16] algorithm with known ∆: every node
+// transmits with probability 1/∆ for ⌈factor·∆·ln n⌉ rounds; w.h.p. every
+// node is heard by all neighbours (O(∆ log n), Table 1 row 1).
+func RandLocalKnownDelta(env *sim.Env, nodes []int, delta int, factor float64, seed int64) *LocalResult {
+	if delta < 1 {
+		delta = 1
+	}
+	if factor <= 0 {
+		factor = 4
+	}
+	rng := rand.New(rand.NewSource(seed))
+	budget := int64(math.Ceil(factor * float64(delta) * math.Log(float64(len(nodes))+2)))
+	tr := newLocalTracker(env, nodes)
+	start := env.Rounds()
+	p := 1.0 / float64(delta)
+	txs := make([]int, 0, len(nodes))
+	for r := int64(0); r < budget; r++ {
+		txs = txs[:0]
+		for _, v := range nodes {
+			if rng.Float64() < p {
+				txs = append(txs, v)
+			}
+		}
+		tr.record(env, env.Step(txs, payloadMsg(env), nodes))
+	}
+	return &LocalResult{Heard: tr.heard, Rounds: env.Rounds() - start, CompletionRound: tr.completion}
+}
+
+// RandLocalSweep is the unknown-∆ randomized local broadcast in the style
+// of [16]'s O(∆ log³ n) / [35]: epochs sweep the transmission probability
+// through 2^{-1} … 2^{-⌈log n⌉}, each probability held for ⌈factor·ln n⌉
+// rounds, for ⌈log n⌉ epochs.
+func RandLocalSweep(env *sim.Env, nodes []int, factor float64, seed int64) *LocalResult {
+	if factor <= 0 {
+		factor = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := float64(len(nodes)) + 2
+	logn := int(math.Ceil(math.Log2(n)))
+	hold := int(math.Ceil(factor * math.Log(n)))
+	tr := newLocalTracker(env, nodes)
+	start := env.Rounds()
+	txs := make([]int, 0, len(nodes))
+	for epoch := 0; epoch < logn && !tr.done(); epoch++ {
+		for j := 1; j <= logn; j++ {
+			p := math.Pow(2, -float64(j))
+			for r := 0; r < hold; r++ {
+				txs = txs[:0]
+				for _, v := range nodes {
+					if rng.Float64() < p {
+						txs = append(txs, v)
+					}
+				}
+				tr.record(env, env.Step(txs, payloadMsg(env), nodes))
+			}
+		}
+	}
+	return &LocalResult{Heard: tr.heard, Rounds: env.Rounds() - start, CompletionRound: tr.completion}
+}
+
+// FeedbackLocal is the [19]/[4]-style algorithm in the feedback model: the
+// simulator grants each transmitter a 1-bit acknowledgement "all your
+// communication-graph neighbours received you" (the extra model feature of
+// those rows). Nodes stop once acknowledged and adapt their probability
+// multiplicatively, giving the O(∆ + polylog) shape.
+func FeedbackLocal(env *sim.Env, nodes []int, maxRounds int64, seed int64) *LocalResult {
+	rng := rand.New(rand.NewSource(seed))
+	tr := newLocalTracker(env, nodes)
+	start := env.Rounds()
+	active := map[int]bool{}
+	prob := map[int]float64{}
+	for _, v := range nodes {
+		active[v] = true
+		prob[v] = 0.5
+	}
+	adj := env.F.CommGraph()
+	pending := map[int]map[int]bool{} // v -> neighbours yet to hear v
+	inSet := map[int]bool{}
+	for _, v := range nodes {
+		inSet[v] = true
+	}
+	for _, v := range nodes {
+		pending[v] = map[int]bool{}
+		for _, u := range adj[v] {
+			if inSet[u] {
+				pending[v][u] = true
+			}
+		}
+		if len(pending[v]) == 0 {
+			active[v] = false // no neighbours: vacuously done
+		}
+	}
+	txs := make([]int, 0, len(nodes))
+	for r := int64(0); r < maxRounds && !tr.done(); r++ {
+		txs = txs[:0]
+		for _, v := range nodes {
+			if active[v] && rng.Float64() < prob[v] {
+				txs = append(txs, v)
+			}
+		}
+		ds := env.Step(txs, payloadMsg(env), nodes)
+		tr.record(env, ds)
+		for _, d := range ds {
+			delete(pending[d.Sender], d.Receiver)
+		}
+		for _, v := range txs {
+			if len(pending[v]) == 0 {
+				active[v] = false // feedback bit: success, stop
+				continue
+			}
+			// Transmitted without full success: back off.
+			prob[v] = math.Max(prob[v]/2, 1.0/float64(len(nodes)+1))
+		}
+		// Slow multiplicative recovery for listeners.
+		if r%8 == 7 {
+			for _, v := range nodes {
+				if active[v] {
+					prob[v] = math.Min(prob[v]*2, 0.5)
+				}
+			}
+		}
+	}
+	return &LocalResult{Heard: tr.heard, Rounds: env.Rounds() - start, CompletionRound: tr.completion}
+}
+
+// GridLocal is the location-aware deterministic local broadcast in the
+// spirit of [22]: nodes know their coordinates, partition the plane into
+// cells of side (1−ε)/(2√2), colour cells with a q×q reuse pattern and run
+// an (N, ∆)-ssf inside each colour class. Simplified from [22]'s backbone
+// construction (O(∆² log n) rather than O(∆ log³ n)) — still deterministic
+// and location-dependent, which is what the Table 1 row contrasts.
+func GridLocal(env *sim.Env, nodes []int, delta, q int, ssfFactor float64, seed uint64) (*LocalResult, error) {
+	pos := env.F.Positions()
+	if pos == nil {
+		return nil, fmt.Errorf("baselines: GridLocal needs node coordinates")
+	}
+	if q < 2 {
+		q = 3
+	}
+	if delta < 1 {
+		delta = 1
+	}
+	side := (1 - env.F.Params().Eps) / (2 * math.Sqrt2)
+	cellOf := func(v int) (int, int) {
+		return int(math.Floor(pos[v].X / side)), int(math.Floor(pos[v].Y / side))
+	}
+	sel, err := selectors.NewSSF(env.N, delta, ssfFactor, seed^0x4752494453)
+	if err != nil {
+		return nil, err
+	}
+	tr := newLocalTracker(env, nodes)
+	start := env.Rounds()
+	txs := make([]int, 0, len(nodes))
+	for cx := 0; cx < q; cx++ {
+		for cy := 0; cy < q; cy++ {
+			for i := 0; i < sel.Len(); i++ {
+				txs = txs[:0]
+				for _, v := range nodes {
+					x, y := cellOf(v)
+					if mod(x, q) == cx && mod(y, q) == cy && sel.Contains(i, env.IDs[v]) {
+						txs = append(txs, v)
+					}
+				}
+				tr.record(env, env.Step(txs, payloadMsg(env), nodes))
+			}
+		}
+	}
+	return &LocalResult{Heard: tr.heard, Rounds: env.Rounds() - start, CompletionRound: tr.completion}, nil
+}
+
+func mod(a, m int) int {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+func payloadMsg(env *sim.Env) func(int) sim.Msg {
+	return func(v int) sim.Msg {
+		return sim.Msg{Kind: sim.KindPayload, From: int32(env.IDs[v])}
+	}
+}
+
+// geomRadius is a tiny helper kept for tests.
+func geomRadius(env *sim.Env) float64 { return env.F.Params().GraphRadius() }
+
+var _ = geom.Dist // geom retained for the location-based baselines' tests

@@ -1,0 +1,324 @@
+package broadcast
+
+import (
+	"testing"
+
+	"dcluster/internal/analysis"
+	"dcluster/internal/config"
+	"dcluster/internal/geom"
+	"dcluster/internal/sim"
+	"dcluster/internal/sinr"
+)
+
+func newEnv(t *testing.T, pts []geom.Point) *sim.Env {
+	t.Helper()
+	f, err := sinr.NewField(sinr.DefaultParams(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.MustEnv(f, nil, 0)
+}
+
+func allNodes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// verifyLocalBroadcast checks Theorem 2's guarantee: every node's message
+// was received by every neighbour in the communication graph.
+func verifyLocalBroadcast(t *testing.T, env *sim.Env, pts []geom.Point, res *LocalResult) {
+	t.Helper()
+	rad := env.F.Params().GraphRadius()
+	adj := geom.CommGraph(pts, rad)
+	for v, ns := range adj {
+		for _, u := range ns {
+			if !res.Heard[u][v] {
+				t.Errorf("neighbour %d never heard %d", u, v)
+			}
+		}
+	}
+}
+
+func TestLocalBroadcastUniformDisk(t *testing.T) {
+	pts := geom.UniformDisk(40, 1.8, 19)
+	env := newEnv(t, pts)
+	res, err := Local(env, LocalInput{
+		Cfg:   config.Default(),
+		Nodes: allNodes(len(pts)),
+		Delta: geom.Density(pts, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyLocalBroadcast(t, env, pts, res)
+	if res.Rounds != env.Rounds() {
+		t.Errorf("rounds accounting off: %d vs %d", res.Rounds, env.Rounds())
+	}
+}
+
+func TestLocalBroadcastSparseLine(t *testing.T) {
+	pts := geom.LinePath(12, 0.7)
+	env := newEnv(t, pts)
+	res, err := Local(env, LocalInput{
+		Cfg:   config.Default(),
+		Nodes: allNodes(len(pts)),
+		Delta: geom.Density(pts, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyLocalBroadcast(t, env, pts, res)
+}
+
+func TestLocalBroadcastLabelingValid(t *testing.T) {
+	pts := geom.GaussianClusters(36, 4, 5, 0.25, 7)
+	env := newEnv(t, pts)
+	res, err := Local(env, LocalInput{
+		Cfg:   config.Default(),
+		Nodes: allNodes(len(pts)),
+		Delta: geom.Density(pts, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Imperfect labeling: per cluster, repeats bounded by the O(1) tree
+	// count; use a generous constant budget and the Γ label cap.
+	gamma := analysis.MaxClusterSize(res.Assignment.ClusterOf)
+	if err := analysis.ValidateLabeling(res.Assignment.ClusterOf, res.Label, 8, gamma); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGlobalBroadcastLine(t *testing.T) {
+	pts := geom.LinePath(14, 0.7)
+	env := newEnv(t, pts)
+	res, err := Global(env, GlobalInput{
+		Cfg:     config.Default(),
+		Sources: []int{0},
+		Delta:   geom.Density(pts, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered(allNodes(len(pts))) {
+		t.Fatal("global broadcast did not reach every node")
+	}
+	// Phase monotonicity: nodes farther in hops wake in later-or-equal
+	// phases; phase 0 is exactly the source's SNS neighbourhood.
+	if res.AwakeAtPhase[0] != 0 {
+		t.Error("source must be awake at phase 0")
+	}
+	for v := 1; v < len(pts); v++ {
+		if res.AwakeAtPhase[v] < res.AwakeAtPhase[v-1]-1 {
+			t.Errorf("phase ordering broken at node %d: %d after %d", v, res.AwakeAtPhase[v], res.AwakeAtPhase[v-1])
+		}
+	}
+}
+
+func TestGlobalBroadcastStrip(t *testing.T) {
+	pts := geom.ConnectedStrip(50, 8, 1, 0.7, 23)
+	env := newEnv(t, pts)
+	res, err := Global(env, GlobalInput{
+		Cfg:     config.Default(),
+		Sources: []int{0},
+		Delta:   geom.Density(pts, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered(allNodes(len(pts))) {
+		t.Fatal("strip not fully covered")
+	}
+	if len(res.Phases) == 0 {
+		t.Fatal("no phases recorded")
+	}
+}
+
+func TestGlobalBroadcastMultiSource(t *testing.T) {
+	pts := geom.LinePath(20, 0.7)
+	env := newEnv(t, pts)
+	sources := []int{0, 10, 19} // pairwise > 1−ε apart on the line
+	if err := ValidateSourcesSparse(env, sources); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Global(env, GlobalInput{
+		Cfg:     config.Default(),
+		Sources: sources,
+		Delta:   geom.Density(pts, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered(allNodes(len(pts))) {
+		t.Fatal("multi-source broadcast incomplete")
+	}
+	// Multi-source must converge in fewer phases than single-source.
+	single, err := Global(newEnv(t, pts), GlobalInput{
+		Cfg:     config.Default(),
+		Sources: []int{0},
+		Delta:   geom.Density(pts, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) > len(single.Phases) {
+		t.Errorf("multi-source used %d phases, single used %d", len(res.Phases), len(single.Phases))
+	}
+}
+
+func TestValidateSourcesSparseRejectsClose(t *testing.T) {
+	pts := geom.LinePath(5, 0.5)
+	env := newEnv(t, pts)
+	if err := ValidateSourcesSparse(env, []int{0, 1}); err == nil {
+		t.Error("adjacent sources must be rejected")
+	}
+}
+
+func TestGlobalBroadcastDisconnected(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0.5, 0), geom.Pt(50, 0)}
+	env := newEnv(t, pts)
+	res, err := Global(env, GlobalInput{
+		Cfg:       config.Default(),
+		Sources:   []int{0},
+		Delta:     2,
+		MaxPhases: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AwakeAtPhase[2] != -1 {
+		t.Error("unreachable node must stay asleep")
+	}
+	if res.AwakeAtPhase[1] < 0 {
+		t.Error("reachable node must wake")
+	}
+}
+
+func TestGlobalRequiresSource(t *testing.T) {
+	pts := geom.LinePath(3, 0.7)
+	env := newEnv(t, pts)
+	if _, err := Global(env, GlobalInput{Cfg: config.Default(), Delta: 1}); err == nil {
+		t.Error("no sources must error")
+	}
+}
+
+func TestLeaderElection(t *testing.T) {
+	pts := geom.LinePath(10, 0.7)
+	env := newEnv(t, pts)
+	res, err := Leader(env, LeaderInput{
+		Cfg:   config.Default(),
+		Nodes: allNodes(len(pts)),
+		Delta: geom.Density(pts, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Leader < 0 || res.LeaderID != env.IDs[res.Leader] {
+		t.Fatalf("inconsistent leader: %+v", res)
+	}
+	if res.Probes == 0 {
+		t.Error("binary search must probe")
+	}
+}
+
+func TestLeaderIsMinimumCandidate(t *testing.T) {
+	// With sequential IDs the leader must be the minimum-ID centre, and in
+	// particular a real node.
+	pts := geom.UniformDisk(25, 1.5, 31)
+	env := newEnv(t, pts)
+	res, err := Leader(env, LeaderInput{
+		Cfg:   config.Default(),
+		Nodes: allNodes(len(pts)),
+		Delta: geom.Density(pts, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeaderID < 1 || res.LeaderID > env.N {
+		t.Errorf("leader id %d outside ID space", res.LeaderID)
+	}
+}
+
+func TestWakeUpAllSpontaneous(t *testing.T) {
+	pts := geom.LinePath(8, 0.7)
+	env := newEnv(t, pts)
+	spont := make([]int64, len(pts))
+	for i := range spont {
+		spont[i] = 0
+	}
+	res, err := WakeUp(env, WakeUpInput{
+		Cfg:           config.Default(),
+		SpontaneousAt: spont,
+		Delta:         geom.Density(pts, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range pts {
+		if res.AwakeRound[v] < 0 {
+			t.Errorf("node %d never awake", v)
+		}
+	}
+}
+
+func TestWakeUpSingleSpontaneous(t *testing.T) {
+	pts := geom.LinePath(10, 0.7)
+	env := newEnv(t, pts)
+	spont := make([]int64, len(pts))
+	for i := range spont {
+		spont[i] = -1
+	}
+	spont[3] = 5
+	res, err := WakeUp(env, WakeUpInput{
+		Cfg:           config.Default(),
+		SpontaneousAt: spont,
+		Delta:         geom.Density(pts, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range pts {
+		if res.AwakeRound[v] < 0 {
+			t.Errorf("node %d never awake", v)
+		}
+	}
+	if res.Epochs < 1 {
+		t.Error("at least one epoch expected")
+	}
+}
+
+func TestWakeUpStaggered(t *testing.T) {
+	pts := geom.LinePath(9, 0.7)
+	env := newEnv(t, pts)
+	spont := make([]int64, len(pts))
+	for i := range spont {
+		spont[i] = -1
+	}
+	spont[0] = 0
+	spont[8] = 2000 // wakes spontaneously long after the first epoch starts
+	res, err := WakeUp(env, WakeUpInput{
+		Cfg:           config.Default(),
+		SpontaneousAt: spont,
+		Delta:         geom.Density(pts, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range pts {
+		if res.AwakeRound[v] < 0 {
+			t.Errorf("node %d never awake", v)
+		}
+	}
+}
+
+func TestWakeUpRequiresSpontaneous(t *testing.T) {
+	pts := geom.LinePath(3, 0.7)
+	env := newEnv(t, pts)
+	spont := []int64{-1, -1, -1}
+	if _, err := WakeUp(env, WakeUpInput{Cfg: config.Default(), SpontaneousAt: spont, Delta: 1}); err == nil {
+		t.Error("no spontaneous wake-ups must error")
+	}
+}

@@ -1,0 +1,242 @@
+package broadcast
+
+import (
+	"fmt"
+	"sort"
+
+	"dcluster/internal/config"
+	"dcluster/internal/core"
+	"dcluster/internal/sim"
+)
+
+// LeaderInput parameterises leader election (Theorem 5).
+type LeaderInput struct {
+	Cfg config.Config
+	// Nodes all start the election at round 0.
+	Nodes []int
+	// Delta is the known density bound ∆.
+	Delta int
+	// MaxPhases caps each SMSB execution's phase loop.
+	MaxPhases int
+}
+
+// LeaderResult reports the elected leader.
+type LeaderResult struct {
+	// Leader is the elected node index; LeaderID its protocol ID.
+	Leader   int
+	LeaderID int
+	// Rounds is the total cost.
+	Rounds int64
+	// Probes is the number of SMSB executions used by the binary search.
+	Probes int
+}
+
+// Leader elects the unique minimum-ID cluster centre by binary search over
+// the ID space: Clustering determines a constant-density candidate set S;
+// each probe runs SMSBroadcast from the candidates with IDs in the probed
+// range — every node observes (by reception or provable silence within the
+// calibrated time bound T) whether the range is inhabited. Total cost
+// O(D·(∆+log*N)·log²N) (Theorem 5).
+func Leader(env *sim.Env, in LeaderInput) (*LeaderResult, error) {
+	if err := in.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	start := env.Rounds()
+	env.MarkPhase("leader:clustering")
+	asg, err := core.Cluster(env, core.ClusterInput{Cfg: in.Cfg, Nodes: in.Nodes, Gamma: in.Delta})
+	if err != nil {
+		return nil, fmt.Errorf("broadcast: leader clustering: %w", err)
+	}
+	// Candidate set S: the cluster centres (pairwise ≥ 1−ε ⇒ SMSB-sparse).
+	var candidates []int
+	for _, c := range asg.Center {
+		candidates = append(candidates, c)
+	}
+	sort.Ints(candidates)
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("broadcast: clustering produced no centres")
+	}
+
+	// Calibration probe: one full-candidate SMSB measures the time bound T
+	// that silent (empty-range) probes must wait out.
+	env.MarkPhase("leader:calibration")
+	calStart := env.Rounds()
+	if _, err := Global(env, GlobalInput{
+		Cfg:       in.Cfg,
+		Sources:   candidates,
+		Delta:     in.Delta,
+		MaxPhases: in.MaxPhases,
+	}); err != nil {
+		return nil, fmt.Errorf("broadcast: leader calibration: %w", err)
+	}
+	timeBound := env.Rounds() - calStart
+
+	env.MarkPhase("leader:binary-search")
+	lo, hi := 1, env.N
+	probes := 0
+	for lo < hi {
+		mid := (lo + hi) / 2
+		var sub []int
+		for _, c := range candidates {
+			if env.IDs[c] >= lo && env.IDs[c] <= mid {
+				sub = append(sub, c)
+			}
+		}
+		probes++
+		if len(sub) == 0 {
+			// Nothing transmits; every node concludes emptiness after the
+			// known time bound elapses in silence.
+			env.Skip(timeBound)
+			lo = mid + 1
+			continue
+		}
+		res, err := Global(env, GlobalInput{
+			Cfg:       in.Cfg,
+			Sources:   sub,
+			Delta:     in.Delta,
+			MaxPhases: in.MaxPhases,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("broadcast: leader probe [%d..%d]: %w", lo, mid, err)
+		}
+		// A nonempty inhabited range reaches the whole connected component;
+		// nodes that received anything conclude "inhabited".
+		_ = res
+		hi = mid
+	}
+
+	leader := -1
+	for _, c := range candidates {
+		if env.IDs[c] == lo {
+			leader = c
+		}
+	}
+	if leader < 0 {
+		return nil, fmt.Errorf("broadcast: binary search converged on id %d with no candidate", lo)
+	}
+	return &LeaderResult{
+		Leader:   leader,
+		LeaderID: lo,
+		Rounds:   env.Rounds() - start,
+		Probes:   probes,
+	}, nil
+}
+
+// WakeUpInput parameterises the wake-up protocol (Theorem 4).
+type WakeUpInput struct {
+	Cfg config.Config
+	// SpontaneousAt[node] is the adversarially chosen round at which the
+	// node wakes spontaneously, or -1 if it must be awakened by a message.
+	SpontaneousAt []int64
+	// Delta is the known density bound ∆.
+	Delta int
+	// MaxPhases caps each SMSB execution.
+	MaxPhases int
+	// MaxEpochs caps the epoch loop (safety net).
+	MaxEpochs int
+}
+
+// WakeUpResult reports the outcome of the wake-up protocol.
+type WakeUpResult struct {
+	// AwakeRound[node]: the round the node became active (spontaneous or by
+	// message), or -1 if never.
+	AwakeRound []int64
+	// Epochs is the number of T-aligned protocol instances executed.
+	Epochs int
+	// Rounds is the total cost from the first spontaneous wake-up.
+	Rounds int64
+}
+
+// WakeUp runs the Theorem 4 protocol under a global clock: at every round
+// divisible by the instance length T, a fresh instance starts in which the
+// nodes awake before that round participate — Clustering condenses them to
+// a constant-density set whose SMSB activates the network.
+func WakeUp(env *sim.Env, in WakeUpInput) (*WakeUpResult, error) {
+	if err := in.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := env.F.N()
+	if len(in.SpontaneousAt) != n {
+		return nil, fmt.Errorf("broadcast: SpontaneousAt covers %d of %d nodes", len(in.SpontaneousAt), n)
+	}
+	if in.MaxEpochs <= 0 {
+		in.MaxEpochs = n
+	}
+	awake := make([]int64, n)
+	anySpont := false
+	first := int64(-1)
+	for i, r := range in.SpontaneousAt {
+		awake[i] = -1
+		if r >= 0 {
+			anySpont = true
+			if first < 0 || r < first {
+				first = r
+			}
+		}
+	}
+	if !anySpont {
+		return nil, fmt.Errorf("broadcast: no spontaneous wake-ups")
+	}
+	env.Skip(first) // nothing happens before the first spontaneous wake-up
+
+	res := &WakeUpResult{AwakeRound: awake}
+	for epoch := 0; epoch < in.MaxEpochs; epoch++ {
+		now := env.Rounds()
+		var participants []int
+		allAwake := true
+		for v := 0; v < n; v++ {
+			spont := in.SpontaneousAt[v]
+			if spont >= 0 && spont <= now && (awake[v] < 0 || awake[v] > spont) {
+				awake[v] = spont
+			}
+			if awake[v] >= 0 && awake[v] <= now {
+				participants = append(participants, v)
+			} else {
+				allAwake = false
+			}
+		}
+		if allAwake {
+			break
+		}
+		if len(participants) == 0 {
+			// Wait for the next spontaneous wake-up.
+			next := int64(-1)
+			for _, r := range in.SpontaneousAt {
+				if r > now && (next < 0 || r < next) {
+					next = r
+				}
+			}
+			if next < 0 {
+				break
+			}
+			env.Skip(next - now)
+			continue
+		}
+		res.Epochs++
+		asg, err := core.Cluster(env, core.ClusterInput{Cfg: in.Cfg, Nodes: participants, Gamma: in.Delta})
+		if err != nil {
+			return nil, fmt.Errorf("broadcast: wake-up epoch %d clustering: %w", epoch, err)
+		}
+		var centres []int
+		for _, c := range asg.Center {
+			centres = append(centres, c)
+		}
+		sort.Ints(centres)
+		gres, err := Global(env, GlobalInput{
+			Cfg:       in.Cfg,
+			Sources:   centres,
+			Delta:     in.Delta,
+			MaxPhases: in.MaxPhases,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("broadcast: wake-up epoch %d smsb: %w", epoch, err)
+		}
+		for v := 0; v < n; v++ {
+			if awake[v] < 0 && gres.AwakeRound[v] >= 0 {
+				awake[v] = gres.AwakeRound[v]
+			}
+		}
+	}
+	res.Rounds = env.Rounds() - first
+	return res, nil
+}

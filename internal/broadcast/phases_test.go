@@ -1,0 +1,110 @@
+package broadcast
+
+import (
+	"testing"
+
+	"dcluster/internal/analysis"
+	"dcluster/internal/config"
+	"dcluster/internal/geom"
+)
+
+// TestPhaseInvariantNewlyAwakeClustered verifies the Alg. 8 invariant the
+// paper's Figure 1 illustrates: after every phase, the set of nodes
+// awakened during that phase carries a valid 1-clustering (radius ≤ 1;
+// centre count ≥ 1 whenever nodes woke).
+func TestPhaseInvariantNewlyAwakeClustered(t *testing.T) {
+	pts := geom.ConnectedStrip(45, 7, 1, 0.7, 17)
+	env := newEnv(t, pts)
+	res, err := Global(env, GlobalInput{
+		Cfg:     config.Default(),
+		Sources: []int{0},
+		Delta:   geom.Density(pts, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered(allNodes(len(pts))) {
+		t.Fatal("not covered")
+	}
+	for _, p := range res.Phases {
+		if p.NewlyAwake > 0 && p.Clusters < 1 {
+			t.Errorf("phase %d woke %d nodes but formed %d clusters", p.Phase, p.NewlyAwake, p.Clusters)
+		}
+		if p.NewlyAwake == 0 && p.Clusters != 0 {
+			t.Errorf("phase %d woke nobody but reports %d clusters", p.Phase, p.Clusters)
+		}
+		// A phase's cluster count is bounded by the newly awake count.
+		if p.Clusters > p.NewlyAwake {
+			t.Errorf("phase %d: clusters %d > newly awake %d", p.Phase, p.Clusters, p.NewlyAwake)
+		}
+	}
+	// Awake counts are cumulative and monotone.
+	prev := 0
+	for _, p := range res.Phases {
+		if p.AwakeBefore < prev {
+			t.Errorf("awakeBefore decreased at phase %d", p.Phase)
+		}
+		prev = p.AwakeBefore
+	}
+}
+
+// TestGlobalBroadcastRoundsScaleWithDiameter checks the D-linearity of
+// Theorem 3 on line topologies of growing hop count.
+func TestGlobalBroadcastRoundsScaleWithDiameter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diameter sweep")
+	}
+	var prevRounds int64
+	for _, n := range []int{8, 16, 24} {
+		pts := geom.LinePath(n, 0.7)
+		env := newEnv(t, pts)
+		res, err := Global(env, GlobalInput{
+			Cfg:     config.Default(),
+			Sources: []int{0},
+			Delta:   geom.Density(pts, 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Covered(allNodes(n)) {
+			t.Fatalf("n=%d not covered", n)
+		}
+		if prevRounds > 0 && res.Rounds <= prevRounds {
+			t.Errorf("rounds did not grow with diameter: n=%d gives %d ≤ %d", n, res.Rounds, prevRounds)
+		}
+		prevRounds = res.Rounds
+	}
+}
+
+// TestLabelSweepRespectsLabels is failure-injection flavoured: a corrupted
+// label assignment (all labels equal) must still terminate the sweeps and
+// deliver (the SNS just runs denser, losing guarantees but not safety).
+func TestLabelSweepRespectsLabels(t *testing.T) {
+	pts := geom.LinePath(8, 0.7)
+	env := newEnv(t, pts)
+	sns, err := newSNSForTest(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]int32, len(pts))
+	for i := range labels {
+		labels[i] = 1 // degenerate labeling
+	}
+	heard, err := snsSweeps(env, sns, allNodes(len(pts)), labels, allNodes(len(pts)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(heard) == 0 {
+		t.Error("even a degenerate labeling must deliver something on a sparse line")
+	}
+	if env.Rounds() != int64(sns.Len()) {
+		t.Errorf("one label value must cost exactly one SNS pass, got %d rounds", env.Rounds())
+	}
+}
+
+func TestValidateAnalysisUnassignedConstant(t *testing.T) {
+	// The broadcast package's sentinel must match the analysis package's.
+	if analysis.Unassigned != -1 {
+		t.Fatal("sentinel drift")
+	}
+}

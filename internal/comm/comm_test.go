@@ -1,0 +1,134 @@
+package comm
+
+import (
+	"testing"
+
+	"dcluster/internal/config"
+	"dcluster/internal/geom"
+	"dcluster/internal/sim"
+	"dcluster/internal/sinr"
+)
+
+func newEnv(t *testing.T, pts []geom.Point) *sim.Env {
+	t.Helper()
+	f, err := sinr.NewField(sinr.DefaultParams(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.MustEnv(f, nil, 0)
+}
+
+func TestNewSNSValidatesConfig(t *testing.T) {
+	var bad config.Config
+	if _, err := NewSNS(bad, 10); err == nil {
+		t.Error("invalid config must be rejected")
+	}
+	if _, err := NewSNS(config.Default(), 10); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// TestSNSLocalBroadcastSparseSet is the Lemma 4 guarantee: on a
+// constant-density set, every participant is heard by every node within
+// distance 1−ε during one pass.
+func TestSNSLocalBroadcastSparseSet(t *testing.T) {
+	// A sparse line: spacing 0.7 < 1−ε = 0.75, unit-ball density ≤ 3.
+	pts := geom.LinePath(12, 0.7)
+	env := newEnv(t, pts)
+	sns, err := NewSNS(config.Default(), env.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := make([]int, len(pts))
+	for i := range active {
+		active[i] = i
+	}
+	ds := sns.Run(env, active, func(v int) sim.Msg {
+		return sim.Msg{Kind: sim.KindSNS, From: int32(env.IDs[v])}
+	}, nil)
+
+	heard := map[[2]int]bool{}
+	for _, d := range ds {
+		heard[[2]int{d.Receiver, d.Sender}] = true
+	}
+	rad := env.F.Params().GraphRadius()
+	for u := range pts {
+		for v := range pts {
+			if u != v && geom.Dist(pts[u], pts[v]) <= rad && !heard[[2]int{u, v}] {
+				t.Errorf("neighbour %d did not hear %d during SNS", u, v)
+			}
+		}
+	}
+	if env.Rounds() != int64(sns.Len()) {
+		t.Errorf("rounds = %d, want schedule length %d", env.Rounds(), sns.Len())
+	}
+}
+
+func TestSNSOnlyActiveTransmit(t *testing.T) {
+	pts := geom.LinePath(6, 0.7)
+	env := newEnv(t, pts)
+	sns, _ := NewSNS(config.Default(), env.N)
+	// Only node 0 participates; all deliveries must originate from it.
+	ds := sns.Run(env, []int{0}, func(v int) sim.Msg {
+		return sim.Msg{Kind: sim.KindSNS, From: int32(env.IDs[v])}
+	}, nil)
+	if len(ds) == 0 {
+		t.Fatal("lone transmitter must be heard")
+	}
+	for _, d := range ds {
+		if d.Sender != 0 {
+			t.Fatalf("unexpected sender %d", d.Sender)
+		}
+	}
+}
+
+func TestRunSelectorListenersRestrict(t *testing.T) {
+	pts := geom.LinePath(5, 0.7)
+	env := newEnv(t, pts)
+	sns, _ := NewSNS(config.Default(), env.N)
+	ds := sns.Run(env, []int{0, 1, 2, 3, 4}, func(v int) sim.Msg {
+		return sim.Msg{Kind: sim.KindSNS, From: int32(env.IDs[v])}
+	}, []int{4})
+	for _, d := range ds {
+		if d.Receiver != 4 {
+			t.Fatalf("listener restriction violated: receiver %d", d.Receiver)
+		}
+	}
+}
+
+func TestRoundRobinDeliversInOrder(t *testing.T) {
+	pts := geom.LinePath(4, 0.7)
+	env := newEnv(t, pts)
+	ds := RoundRobin(env, []int{0, 1, 2, 3}, func(v int) sim.Msg {
+		return sim.Msg{Kind: sim.KindPayload, From: int32(env.IDs[v])}
+	}, nil)
+	if env.Rounds() != 4 {
+		t.Errorf("rounds = %d, want 4", env.Rounds())
+	}
+	// Each solo transmitter is heard by its line neighbours.
+	heard := map[int]int{}
+	for _, d := range ds {
+		heard[d.Sender]++
+	}
+	for v := 0; v < 4; v++ {
+		if heard[v] == 0 {
+			t.Errorf("solo transmitter %d unheard", v)
+		}
+	}
+}
+
+func TestSNSDenseSetStillTerminates(t *testing.T) {
+	// Density above γ voids the delivery guarantee but the schedule still
+	// runs its fixed length.
+	pts := geom.UniformDisk(40, 0.4, 3)
+	env := newEnv(t, pts)
+	sns, _ := NewSNS(config.Default(), env.N)
+	active := make([]int, len(pts))
+	for i := range active {
+		active[i] = i
+	}
+	sns.Run(env, active, func(v int) sim.Msg { return sim.Msg{Kind: sim.KindSNS} }, nil)
+	if env.Rounds() != int64(sns.Len()) {
+		t.Errorf("rounds = %d, want %d", env.Rounds(), sns.Len())
+	}
+}

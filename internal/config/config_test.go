@@ -1,0 +1,57 @@
+package config
+
+import (
+	"testing"
+
+	"dcluster/internal/sinr"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestTheoreticalValidatesAndIsLarger(t *testing.T) {
+	d := Default()
+	th := Theoretical(sinr.DefaultParams())
+	if err := th.Validate(); err != nil {
+		t.Fatalf("theoretical config invalid: %v", err)
+	}
+	if th.Kappa < d.Kappa || th.SparsifyURounds < d.SparsifyURounds ||
+		th.RadiusReductionIters < d.RadiusReductionIters {
+		t.Error("theoretical constants must dominate defaults")
+	}
+	// χ(5, 0.75) = (2·5/0.75 + 1)² ⌊·⌋ = 198.
+	if th.SparsifyURounds < 100 {
+		t.Errorf("SparsifyURounds = %d, expected χ(5,1−ε) scale", th.SparsifyURounds)
+	}
+}
+
+func TestValidateCatchesEachField(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.Kappa = 0 },
+		func(c *Config) { c.Rho = 0 },
+		func(c *Config) { c.SNSK = 0 },
+		func(c *Config) { c.SSFFactor = 0 },
+		func(c *Config) { c.WSSFactor = -1 },
+		func(c *Config) { c.WCSSFactor = 0 },
+		func(c *Config) { c.SparsifyURounds = 0 },
+		func(c *Config) { c.RadiusReductionIters = 0 },
+		func(c *Config) { c.MISColorFactor = 0 },
+	}
+	for i, m := range mutations {
+		c := Default()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d not caught", i)
+		}
+	}
+}
+
+func TestZeroValueInvalid(t *testing.T) {
+	var c Config
+	if err := c.Validate(); err == nil {
+		t.Error("zero-value config must be invalid")
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"testing"
+
+	"dcluster/internal/analysis"
+	"dcluster/internal/config"
+	"dcluster/internal/geom"
+	"dcluster/internal/sim"
+	"dcluster/internal/sinr"
+)
+
+func newEnv(t *testing.T, pts []geom.Point) *sim.Env {
+	t.Helper()
+	f, err := sinr.NewField(sinr.DefaultParams(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.MustEnv(f, nil, 0)
+}
+
+func allNodes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// validate1Clustering checks Theorem 1's guarantees on an assignment.
+func validate1Clustering(t *testing.T, pts []geom.Point, a *Assignment, eps float64) {
+	t.Helper()
+	c := analysis.Clustering{ClusterOf: a.ClusterOf, Center: a.Center}
+	if err := c.Validate(pts, 1.0, eps, true); err != nil {
+		t.Errorf("1-clustering invalid: %v", err)
+	}
+	// Condition (ii): O(1) clusters per unit ball. With centres ≥ 1−ε apart
+	// and radius ≤ 1, χ(2, 1−ε) bounds the count; use that as the budget.
+	budget := geom.ChiUpper(2, 1-eps)
+	if got := analysis.ClustersPerUnitBall(pts, a.ClusterOf); got > budget {
+		t.Errorf("clusters per unit ball = %d > χ(2,1−ε) = %d", got, budget)
+	}
+}
+
+func TestReduceRadiusFromTwoClustering(t *testing.T) {
+	// Hand-build a 2-clustering: two groups of radius ≤ 2.
+	var pts []geom.Point
+	for i := 0; i < 8; i++ {
+		pts = append(pts, geom.Pt(float64(i%4)*0.45, float64(i/4)*0.45))
+	}
+	for i := 0; i < 8; i++ {
+		pts = append(pts, geom.Pt(4+float64(i%4)*0.45, float64(i/4)*0.45))
+	}
+	env := newEnv(t, pts)
+	cur := NewAssignment(len(pts))
+	for i := 0; i < 8; i++ {
+		cur.ClusterOf[i] = 100
+		cur.ClusterOf[8+i] = 200
+	}
+	cur.Center[100] = 0
+	cur.Center[200] = 8
+
+	got, err := ReduceRadius(env, ReduceInput{
+		Cfg:     config.Default(),
+		Nodes:   allNodes(len(pts)),
+		Current: cur,
+		Gamma:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validate1Clustering(t, pts, got, env.F.Params().Eps)
+}
+
+func TestReduceRadiusSingleDenseClump(t *testing.T) {
+	pts := geom.UniformDisk(30, 0.8, 5)
+	env := newEnv(t, pts)
+	cur := NewAssignment(len(pts))
+	for i := range pts {
+		cur.ClusterOf[i] = 7
+	}
+	cur.Center[7] = 0
+	got, err := ReduceRadius(env, ReduceInput{
+		Cfg:     config.Default(),
+		Nodes:   allNodes(len(pts)),
+		Current: cur,
+		Gamma:   geom.Density(pts, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validate1Clustering(t, pts, got, env.F.Params().Eps)
+}
+
+func TestClusterUniformDisk(t *testing.T) {
+	pts := geom.UniformDisk(48, 2.0, 11)
+	env := newEnv(t, pts)
+	a, err := Cluster(env, ClusterInput{
+		Cfg:   config.Default(),
+		Nodes: allNodes(len(pts)),
+		Gamma: geom.Density(pts, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validate1Clustering(t, pts, a, env.F.Params().Eps)
+}
+
+func TestClusterSparseLine(t *testing.T) {
+	pts := geom.LinePath(10, 0.7)
+	env := newEnv(t, pts)
+	a, err := Cluster(env, ClusterInput{
+		Cfg:   config.Default(),
+		Nodes: allNodes(len(pts)),
+		Gamma: geom.Density(pts, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validate1Clustering(t, pts, a, env.F.Params().Eps)
+}
+
+func TestClusterGaussianClumps(t *testing.T) {
+	pts := geom.GaussianClusters(40, 4, 6, 0.3, 13)
+	env := newEnv(t, pts)
+	a, err := Cluster(env, ClusterInput{
+		Cfg:   config.Default(),
+		Nodes: allNodes(len(pts)),
+		Gamma: geom.Density(pts, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validate1Clustering(t, pts, a, env.F.Params().Eps)
+}
+
+func TestClusterSingleton(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0)}
+	env := newEnv(t, pts)
+	a, err := Cluster(env, ClusterInput{Cfg: config.Default(), Nodes: []int{0}, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ClusterOf[0] == analysis.Unassigned {
+		t.Error("singleton must self-cluster")
+	}
+}
+
+func TestClusterValidatesConfig(t *testing.T) {
+	pts := geom.LinePath(3, 0.7)
+	env := newEnv(t, pts)
+	var bad config.Config
+	if _, err := Cluster(env, ClusterInput{Cfg: bad, Nodes: allNodes(3), Gamma: 1}); err == nil {
+		t.Error("invalid config must error")
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	pts := geom.UniformDisk(30, 1.5, 17)
+	run := func() ([]int32, int64) {
+		env := newEnv(t, pts)
+		a, err := Cluster(env, ClusterInput{Cfg: config.Default(), Nodes: allNodes(len(pts)), Gamma: geom.Density(pts, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a.ClusterOf, env.Rounds()
+	}
+	c1, r1 := run()
+	c2, r2 := run()
+	if r1 != r2 {
+		t.Errorf("round counts differ: %d vs %d", r1, r2)
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("assignment differs at node %d", i)
+		}
+	}
+}
+
+func TestClusteringRoundsBoundGrowsWithGamma(t *testing.T) {
+	if ClusteringRoundsBound(8, 256) >= ClusteringRoundsBound(16, 256) {
+		t.Error("bound must grow with Γ")
+	}
+	if ClusteringRoundsBound(8, 256) >= ClusteringRoundsBound(8, 1<<20) {
+		t.Error("bound must grow with N")
+	}
+}

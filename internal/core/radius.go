@@ -1,0 +1,268 @@
+// Package core implements the paper's primary contribution: the
+// RadiusReduction algorithm (Alg. 5, Lemma 12) and the deterministic
+// distributed Clustering algorithm (Alg. 6, Theorem 1), which partitions an
+// ad hoc SINR network into clusters such that (i) each cluster fits in a
+// ball of radius 1, (ii) every unit ball meets O(1) clusters, and (iii)
+// every node knows its cluster ID.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dcluster/internal/analysis"
+	"dcluster/internal/comm"
+	"dcluster/internal/config"
+	"dcluster/internal/mis"
+	"dcluster/internal/selectors"
+	"dcluster/internal/sim"
+	"dcluster/internal/sparsify"
+)
+
+// Assignment is a cluster assignment produced by the core algorithms.
+// Cluster IDs are the protocol IDs of the cluster centres.
+type Assignment struct {
+	// ClusterOf[node] is the cluster ID, or analysis.Unassigned.
+	ClusterOf []int32
+	// Center maps cluster IDs to centre node indices.
+	Center map[int32]int
+}
+
+// NewAssignment returns an all-unassigned assignment for n nodes.
+func NewAssignment(n int) *Assignment {
+	a := &Assignment{ClusterOf: make([]int32, n), Center: make(map[int32]int)}
+	for i := range a.ClusterOf {
+		a.ClusterOf[i] = analysis.Unassigned
+	}
+	return a
+}
+
+// ReduceInput parameterises one RadiusReduction run.
+type ReduceInput struct {
+	Cfg config.Config
+	// Nodes is the r-clustered set X to re-cluster.
+	Nodes []int
+	// Current is the existing r-clustering of Nodes (used by the clustered
+	// sparsification schedules inside the loop).
+	Current *Assignment
+	// Gamma is the density bound Γ of X.
+	Gamma int
+}
+
+// ReduceRadius runs Algorithm 5: it transforms an r-clustering (r = O(1),
+// canonically 2) into a 1-clustering in O((Γ + log*N)·log N) rounds.
+// The returned assignment covers exactly in.Nodes.
+func ReduceRadius(env *sim.Env, in ReduceInput) (*Assignment, error) {
+	if err := in.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := in.Cfg
+	out := NewAssignment(env.F.N())
+
+	wcss, err := selectors.NewWCSS(env.N, cfg.Kappa, cfg.Rho, cfg.WCSSFactor, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sns, err := comm.NewSNS(cfg, env.N)
+	if err != nil {
+		return nil, err
+	}
+
+	x := append([]int(nil), in.Nodes...)
+	// Working clustering seen by the sparsification schedules: starts as
+	// the input r-clustering; nodes keep it until re-assigned.
+	work := append([]int32(nil), in.Current.ClusterOf...)
+
+	var emptyIterRounds int64 = -1
+	for it := 0; it < cfg.RadiusReductionIters; it++ {
+		if len(x) == 0 && cfg.EarlyStop && emptyIterRounds >= 0 {
+			env.Skip(int64(cfg.RadiusReductionIters-it) * emptyIterRounds)
+			break
+		}
+		start := env.Rounds()
+		assigned, err := reduceIteration(env, cfg, wcss, sns, x, work, out, in.Gamma)
+		if err != nil {
+			return nil, err
+		}
+		if len(x) == 0 {
+			emptyIterRounds = env.Rounds() - start
+			continue
+		}
+		next := x[:0]
+		for _, v := range x {
+			if !assigned[v] {
+				next = append(next, v)
+			}
+		}
+		x = next
+		if len(x) == 0 {
+			emptyIterRounds = -1 // measure one empty iteration before skipping
+		}
+	}
+	if len(x) > 0 {
+		return nil, fmt.Errorf("core: radius reduction left %d nodes unassigned after %d iterations (raise Cfg.RadiusReductionIters)", len(x), cfg.RadiusReductionIters)
+	}
+	return out, nil
+}
+
+// reduceIteration performs one pass of the Alg. 5 main loop over the
+// remaining set x, writing assignments into out. Returns the set of nodes
+// assigned this iteration.
+func reduceIteration(
+	env *sim.Env,
+	cfg config.Config,
+	wcss *selectors.WCSS,
+	sns *comm.SNS,
+	x []int,
+	work []int32,
+	out *Assignment,
+	gamma int,
+) (map[int]bool, error) {
+	assigned := map[int]bool{}
+	st := sparsify.NewState(env.F.N())
+	if gamma > len(x) {
+		gamma = len(x)
+	}
+	if gamma < 1 {
+		gamma = 1
+	}
+	levels, err := sparsify.Full(env, st, x, sparsify.Call{
+		Cfg:       cfg,
+		Sched:     wcss,
+		ClusterOf: func(v int) int32 { return work[v] },
+		Clustered: true,
+		Gamma:     gamma,
+	})
+	if err != nil {
+		return nil, err
+	}
+	xk := levels.Final()
+
+	// Sparse Network Schedule on X_k: hello pass, then heard-list pass, to
+	// learn the mutual-exchange graph G (Alg. 5 line 5).
+	heard := runHello(env, sns, xk)
+	adj := mutualAdjacency(env, sns, xk, heard)
+
+	// D ← MIS(G), simulated over SNS executions (Alg. 5 line 6). Isolated
+	// nodes of X_k join D trivially (they heard nobody within 1−ε).
+	exchange := func(msgOf func(int) sim.Msg) []sim.Delivery {
+		return sns.Run(env, xk, msgOf, xk)
+	}
+	res := mis.Compute(xk, func(v int) int { return env.IDs[v] }, adj, exchange, mis.Options{
+		IDBound: env.N,
+		Factor:  cfg.MISColorFactor,
+		Seed:    cfg.Seed,
+		Fast:    cfg.FastMIS,
+	})
+
+	// Local broadcast from D (Alg. 5 line 7): members announce themselves
+	// as new cluster centres; every remaining node within range joins the
+	// first centre it hears (line 10).
+	var d []int
+	for v := range res.InMIS {
+		d = append(d, v)
+	}
+	sort.Ints(d)
+	for _, c := range d {
+		id := int32(env.IDs[c])
+		out.ClusterOf[c] = id
+		out.Center[id] = c
+		work[c] = id
+		assigned[c] = true
+	}
+	centreMsg := func(v int) sim.Msg {
+		return sim.Msg{Kind: sim.KindClusterID, From: int32(env.IDs[v]), Cluster: int32(env.IDs[v])}
+	}
+	inX := make(map[int]bool, len(x))
+	for _, v := range x {
+		inX[v] = true
+	}
+	for _, del := range sns.Run(env, d, centreMsg, x) {
+		u := del.Receiver
+		if del.Msg.Kind != sim.KindClusterID || assigned[u] || !inX[u] {
+			continue
+		}
+		out.ClusterOf[u] = del.Msg.Cluster
+		work[u] = del.Msg.Cluster
+		assigned[u] = true
+	}
+	return assigned, nil
+}
+
+// runHello runs one SNS pass where every node announces its ID; returns the
+// per-node heard sets.
+func runHello(env *sim.Env, sns *comm.SNS, nodes []int) map[int][]int {
+	heard := map[int][]int{}
+	hello := func(v int) sim.Msg {
+		return sim.Msg{Kind: sim.KindHello, From: int32(env.IDs[v])}
+	}
+	member := map[int]bool{}
+	for _, v := range nodes {
+		member[v] = true
+	}
+	for _, d := range sns.Run(env, nodes, hello, nodes) {
+		if d.Msg.Kind == sim.KindHello && member[d.Receiver] && member[d.Sender] {
+			if !containsInt(heard[d.Receiver], d.Sender) {
+				heard[d.Receiver] = append(heard[d.Receiver], d.Sender)
+			}
+		}
+	}
+	return heard
+}
+
+// mutualAdjacency runs the confirmation SNS pass: every node broadcasts the
+// list of IDs it heard (constant density ⇒ constant list, capped at
+// sim.MaxList deterministically by ID); edges are mutual exchanges.
+func mutualAdjacency(env *sim.Env, sns *comm.SNS, nodes []int, heard map[int][]int) map[int][]int {
+	lists := func(v int) sim.Msg {
+		hs := append([]int(nil), heard[v]...)
+		sort.Slice(hs, func(i, j int) bool { return env.IDs[hs[i]] < env.IDs[hs[j]] })
+		if len(hs) > sim.MaxList {
+			hs = hs[:sim.MaxList]
+		}
+		m := sim.Msg{Kind: sim.KindHeard, From: int32(env.IDs[v])}
+		for _, h := range hs {
+			m.List = append(m.List, int32(env.IDs[h]))
+		}
+		return m
+	}
+	adj := map[int][]int{}
+	member := map[int]bool{}
+	for _, v := range nodes {
+		member[v] = true
+	}
+	for _, d := range sns.Run(env, nodes, lists, nodes) {
+		if d.Msg.Kind != sim.KindHeard || !member[d.Receiver] || !member[d.Sender] {
+			continue
+		}
+		u, v := d.Receiver, d.Sender
+		if !containsInt(heard[u], v) {
+			continue
+		}
+		for _, idU := range d.Msg.List {
+			if int(idU) == env.IDs[u] {
+				adj[u] = appendUnique(adj[u], v)
+				adj[v] = appendUnique(adj[v], u)
+			}
+		}
+	}
+	return adj
+}
+
+func inSlice(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func containsInt(xs []int, v int) bool { return inSlice(xs, v) }
+
+func appendUnique(xs []int, v int) []int {
+	if inSlice(xs, v) {
+		return xs
+	}
+	return append(xs, v)
+}

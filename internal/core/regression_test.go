@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"dcluster/internal/analysis"
+	"dcluster/internal/config"
+	"dcluster/internal/geom"
+)
+
+// TestGridSeed2CentreSeparation is a regression test for a real bug: the
+// RadiusReduction heard-lists accumulated one entry per reception round, so
+// after sorting and truncating to the O(log N) message budget a node's list
+// could be 16 duplicates of its lowest-ID neighbour — silently dropping a
+// mutual edge from G, letting two nodes 0.59 apart both join the MIS and
+// become cluster centres. Heard sets must be deduplicated before listing.
+func TestGridSeed2CentreSeparation(t *testing.T) {
+	pts := geom.GridLattice(6, 0.6, 0.05, 2)
+	env := newEnv(t, pts)
+	a, err := Cluster(env, ClusterInput{
+		Cfg:   config.Default(),
+		Nodes: allNodes(len(pts)),
+		Gamma: geom.Density(pts, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := analysis.Clustering{ClusterOf: a.ClusterOf, Center: a.Center}
+	if err := c.Validate(pts, 1, env.F.Params().Eps, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReduceRadiusManyNearbyCentresCandidates stresses the G-construction
+// with a set dense enough that heard sets exceed the message list budget:
+// centre separation must still hold.
+func TestReduceRadiusManyNearbyCentresCandidates(t *testing.T) {
+	pts := geom.GridLattice(5, 0.33, 0.01, 3) // 25 nodes, all within ~1.9
+	env := newEnv(t, pts)
+	cur := NewAssignment(len(pts))
+	for i := range pts {
+		cur.ClusterOf[i] = 5
+	}
+	cur.Center[5] = 0
+	got, err := ReduceRadius(env, ReduceInput{
+		Cfg:     config.Default(),
+		Nodes:   allNodes(len(pts)),
+		Current: cur,
+		Gamma:   geom.Density(pts, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := analysis.Clustering{ClusterOf: got.ClusterOf, Center: got.Center}
+	if err := c.Validate(pts, 1, env.F.Params().Eps, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterManyGridSeeds fuzzes the topology family that exposed the
+// regression.
+func TestClusterManyGridSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep")
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		pts := geom.GridLattice(5, 0.55, 0.08, seed)
+		env := newEnv(t, pts)
+		a, err := Cluster(env, ClusterInput{
+			Cfg:   config.Default(),
+			Nodes: allNodes(len(pts)),
+			Gamma: geom.Density(pts, 1),
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		c := analysis.Clustering{ClusterOf: a.ClusterOf, Center: a.Center}
+		if err := c.Validate(pts, 1, env.F.Params().Eps, true); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,435 @@
+// Package exp implements the reproduction experiments E1–E10 of DESIGN.md:
+// one runner per paper table/figure, each returning a formatted text report
+// of measured values next to the paper's claimed shape. cmd/experiments is
+// the CLI front end; the benchmark harness reports the same quantities as
+// testing.B metrics.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"dcluster"
+	"dcluster/internal/analysis"
+	"dcluster/internal/baselines"
+	"dcluster/internal/config"
+	"dcluster/internal/core"
+	"dcluster/internal/geom"
+	"dcluster/internal/selectors"
+	"dcluster/internal/sim"
+	"dcluster/internal/sinr"
+	"dcluster/internal/sparsify"
+)
+
+// Size selects experiment scale.
+type Size int
+
+// Experiment scales.
+const (
+	Quick Size = iota // seconds-scale, used by tests
+	Full              // the EXPERIMENTS.md configuration
+)
+
+// DiskForDensity returns a uniform-disk instance with n nodes and expected
+// unit-ball density ≈ delta (disk radius √(n/∆)).
+func DiskForDensity(n, delta int, seed int64) []geom.Point {
+	r := math.Sqrt(float64(n) / float64(delta))
+	return geom.UniformDisk(n, r, seed)
+}
+
+func newEnv(pts []geom.Point) (*sim.Env, error) {
+	f, err := sinr.NewField(sinr.DefaultParams(), pts)
+	if err != nil {
+		return nil, err
+	}
+	return sim.NewEnv(f, nil, 0)
+}
+
+// newEnvPermuted builds an env with a random ID permutation (so that
+// ID order does not accidentally align with the topology, which would
+// flatter the round-robin baseline).
+func newEnvPermuted(pts []geom.Point, seed int64) (*sim.Env, error) {
+	f, err := sinr.NewField(sinr.DefaultParams(), pts)
+	if err != nil {
+		return nil, err
+	}
+	ids := rand.New(rand.NewSource(seed)).Perm(len(pts))
+	for i := range ids {
+		ids[i]++
+	}
+	return sim.NewEnv(f, ids, len(pts))
+}
+
+func seqNodes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Table1 reproduces the local-broadcast comparison: measured rounds to
+// complete local broadcast for each algorithm across a density sweep.
+func Table1(size Size) (string, error) {
+	ns := []int{64}
+	deltas := []int{4, 8, 16}
+	if size == Full {
+		ns = []int{64, 128}
+		deltas = []int{4, 8, 16, 24}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "E1 / Table 1 — local broadcast: rounds to completion (lower is better)\n")
+	fmt.Fprintf(&b, "paper shapes: [16] O(∆logn) | sweep O(∆log³n) | [19] feedback O(∆+log²n) | [22] location O(∆log³n) | ours O(∆log*n·logn)\n\n")
+	fmt.Fprintf(&b, "%6s %6s %6s | %12s %12s %12s %12s %12s\n",
+		"n", "∆tgt", "∆real", "rand-known∆", "rand-sweep", "feedback", "grid-loc", "ours(det)")
+	for _, n := range ns {
+		for _, delta := range deltas {
+			pts := DiskForDensity(n, delta, 7)
+			real := geom.Density(pts, 1)
+
+			envA, err := newEnv(pts)
+			if err != nil {
+				return "", err
+			}
+			known := baselines.RandLocalKnownDelta(envA, seqNodes(n), real, 6, 42)
+
+			envB, _ := newEnv(pts)
+			sweep := baselines.RandLocalSweep(envB, seqNodes(n), 3, 42)
+
+			envC, _ := newEnv(pts)
+			fb := baselines.FeedbackLocal(envC, seqNodes(n), 1_000_000, 42)
+
+			envD, _ := newEnv(pts)
+			grid, err := baselines.GridLocal(envD, seqNodes(n), real, 4, 1, 42)
+			if err != nil {
+				return "", err
+			}
+
+			net, err := dcluster.NewNetwork(pts)
+			if err != nil {
+				return "", err
+			}
+			ours, err := net.LocalBroadcast()
+			if err != nil {
+				return "", err
+			}
+			if !ours.Complete(net) {
+				return "", fmt.Errorf("exp: our local broadcast incomplete on n=%d ∆=%d", n, delta)
+			}
+			fmt.Fprintf(&b, "%6d %6d %6d | %12s %12s %12s %12s %12d\n",
+				n, delta, real,
+				fmtCompletion(known), fmtCompletion(sweep), fmtCompletion(fb), fmtCompletion(grid),
+				ours.Stats.Rounds)
+		}
+	}
+	b.WriteString("\nnote: randomized columns report completion round (oracle-observed); ours reports the full deterministic schedule length.\n")
+	return b.String(), nil
+}
+
+func fmtCompletion(r *baselines.LocalResult) string {
+	if r.CompletionRound < 0 {
+		return fmt.Sprintf(">%d", r.Rounds)
+	}
+	return fmt.Sprintf("%d", r.CompletionRound)
+}
+
+// Table2 reproduces the global-broadcast comparison on multi-hop strips.
+func Table2(size Size) (string, error) {
+	type inst struct{ n, length int }
+	insts := []inst{{40, 5}, {60, 8}}
+	if size == Full {
+		insts = []inst{{40, 5}, {60, 8}, {90, 12}}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "E2 / Table 2 — global broadcast: rounds to full coverage\n")
+	fmt.Fprintf(&b, "paper shapes: [10/25] rand O(Dlog²n) | [24] rand+loc O(Dlogn+log²n) | naive det Θ(nD) | ours det O(D(∆+log*n)logn)\n\n")
+	fmt.Fprintf(&b, "%5s %4s %4s %4s | %12s %12s %12s %12s\n",
+		"n", "D", "∆", "", "decay(rand)", "grid-decay", "round-robin", "ours(det)")
+	for _, in := range insts {
+		pts := geom.ConnectedStrip(in.n, float64(in.length), 1, 0.7, 11)
+		delta := geom.Density(pts, 1)
+		diam := geom.Diameter(pts, 0.75)
+
+		envA, err := newEnv(pts)
+		if err != nil {
+			return "", err
+		}
+		decay := baselines.DecayGlobal(envA, 0, delta, 5_000_000, 42)
+
+		envB, _ := newEnv(pts)
+		gdecay, err := baselines.GridDecayGlobal(envB, 0, delta, 3, 5_000_000, 42)
+		if err != nil {
+			return "", err
+		}
+
+		envC, err := newEnvPermuted(pts, 99)
+		if err != nil {
+			return "", err
+		}
+		rr := baselines.RoundRobinGlobal(envC, 0, 5_000_000)
+
+		net, err := dcluster.NewNetwork(pts)
+		if err != nil {
+			return "", err
+		}
+		ours, err := net.GlobalBroadcast(0)
+		if err != nil {
+			return "", err
+		}
+		if ours.Coverage() < 1 {
+			return "", fmt.Errorf("exp: our global broadcast covered %.2f on n=%d", ours.Coverage(), in.n)
+		}
+		fmt.Fprintf(&b, "%5d %4d %4d %4s | %12d %12d %12d %12d\n",
+			in.n, diam, delta, "",
+			decay.Rounds, gdecay.Rounds, rr.Rounds, ours.Stats.Rounds)
+	}
+	b.WriteString("\nnote: deterministic-pure pays a poly(∆) factor over randomized — Theorem 6's separation.\n")
+	return b.String(), nil
+}
+
+// Fig1 traces the phases of the global broadcast (awake growth, clusters
+// per phase) — the data behind the paper's phase illustration.
+func Fig1(size Size) (string, error) {
+	n, length := 50, 7
+	if size == Full {
+		n, length = 80, 10
+	}
+	pts := geom.ConnectedStrip(n, float64(length), 1, 0.7, 13)
+	net, err := dcluster.NewNetwork(pts)
+	if err != nil {
+		return "", err
+	}
+	res, err := net.GlobalBroadcast(0)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "E3 / Figure 1 — global broadcast phase trace (n=%d, D=%d, ∆=%d)\n\n", n, net.Diameter(), net.Density())
+	fmt.Fprintf(&b, "%6s %12s %12s %10s %10s\n", "phase", "awakeBefore", "newlyAwake", "clusters", "rounds")
+	for _, p := range res.PhaseTrace {
+		fmt.Fprintf(&b, "%6d %12d %12d %10d %10d\n", p.Phase, p.AwakeBefore, p.NewlyAwake, p.Clusters, p.Rounds)
+	}
+	fmt.Fprintf(&b, "\ncoverage=%.2f total rounds=%d\n", res.Coverage(), res.Stats.Rounds)
+	return b.String(), nil
+}
+
+// Fig2 reports proximity-graph construction statistics: close-pair
+// coverage, degree bound, rounds.
+func Fig2(size Size) (string, error) {
+	n := 60
+	if size == Full {
+		n = 120
+	}
+	pts := geom.UniformDisk(n, 2.2, 17)
+	env, err := newEnv(pts)
+	if err != nil {
+		return "", err
+	}
+	cfg := config.Default()
+	wss, err := selectors.NewWSS(env.N, cfg.Kappa, cfg.WSSFactor, cfg.Seed)
+	if err != nil {
+		return "", err
+	}
+	g, err := proximityConstruct(env, cfg, wss, seqNodes(n))
+	if err != nil {
+		return "", err
+	}
+	cluster := make([]int32, n)
+	for i := range cluster {
+		cluster[i] = 1
+	}
+	gamma := geom.Density(pts, 1)
+	pairs := analysis.ClosePairs(pts, cluster, gamma, 1, sinr.DefaultParams().Eps)
+	covered := 0
+	for _, p := range pairs {
+		if hasEdge(g.Adj, p.U, p.W) {
+			covered++
+		}
+	}
+	edges := 0
+	for _, ns := range g.Adj {
+		edges += len(ns)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "E4 / Figure 2 — proximity graph construction (n=%d, ∆=%d)\n\n", n, gamma)
+	fmt.Fprintf(&b, "close pairs (Def. 1): %d\n", len(pairs))
+	fmt.Fprintf(&b, "close pairs with edge: %d (%.0f%%; Lemma 7 demands 100%%)\n", covered, 100*float64(covered)/math.Max(1, float64(len(pairs))))
+	fmt.Fprintf(&b, "graph edges (directed): %d, max degree: %d (κ=%d)\n", edges, analysis.MaxDegree(g.Adj), cfg.Kappa)
+	fmt.Fprintf(&b, "rounds: %d (= (κ+1)·|S| = %d)\n", env.Rounds(), (cfg.Kappa+1)*wss.Len())
+	return b.String(), nil
+}
+
+// Fig3 reports the sparsification density decay, clustered vs unclustered.
+func Fig3(size Size) (string, error) {
+	iters := 6
+	m := 12
+	if size == Full {
+		iters = 10
+		m = 20
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "E5 / Figure 3 — sparsification: surviving nodes per iteration\n\n")
+
+	// Clustered: 3 clumps of m nodes.
+	var pts []geom.Point
+	var cl []int32
+	for c := 0; c < 3; c++ {
+		for j := 0; j < m; j++ {
+			pts = append(pts, geom.Pt(float64(c)*3+0.3*float64(j%4)/4, 0.3*float64(j/4)/4))
+			cl = append(cl, int32(c+1))
+		}
+	}
+	series, err := sparsifySeries(pts, cl, true, iters)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "clustered   (3 clumps × %d): %v\n", m, series)
+
+	// Unclustered disk.
+	upts := geom.UniformDisk(3*m, 1.2, 29)
+	useries, err := sparsifySeries(upts, nil, false, iters)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "unclustered (disk, n=%d):    %v\n", 3*m, useries)
+	b.WriteString("\nshape: geometric decay towards the O(1)-per-cluster floor (Lemma 8/9).\n")
+	return b.String(), nil
+}
+
+// Fig4 reports FullSparsification level sizes A_0 ⊇ A_1 ⊇ … ⊇ A_k.
+func Fig4(size Size) (string, error) {
+	m := 16
+	if size == Full {
+		m = 32
+	}
+	var pts []geom.Point
+	var cl []int32
+	for c := 0; c < 3; c++ {
+		for j := 0; j < m; j++ {
+			pts = append(pts, geom.Pt(float64(c)*3+0.35*float64(j%6)/6, 0.35*float64(j/6)/6))
+			cl = append(cl, int32(c+1))
+		}
+	}
+	env, err := newEnv(pts)
+	if err != nil {
+		return "", err
+	}
+	cfg := config.Default()
+	wcss, err := selectors.NewWCSS(env.N, cfg.Kappa, cfg.Rho, cfg.WCSSFactor, cfg.Seed)
+	if err != nil {
+		return "", err
+	}
+	st := sparsify.NewState(len(pts))
+	levels, err := sparsify.Full(env, st, seqNodes(len(pts)), sparsify.Call{
+		Cfg:       cfg,
+		Sched:     wcss,
+		ClusterOf: func(v int) int32 { return cl[v] },
+		Clustered: true,
+		Gamma:     m,
+	})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "E6 / Figure 4 — full sparsification levels (3 clusters × %d nodes, Γ=%d)\n\n", m, m)
+	fmt.Fprintf(&b, "%6s %8s %16s\n", "level", "|A_i|", "maxClusterSize")
+	for i, lvl := range levels.Levels {
+		counts := map[int32]int{}
+		worst := 0
+		for _, v := range lvl {
+			counts[cl[v]]++
+			if counts[cl[v]] > worst {
+				worst = counts[cl[v]]
+			}
+		}
+		fmt.Fprintf(&b, "%6d %8d %16d\n", i, len(lvl), worst)
+	}
+	fmt.Fprintf(&b, "\nrounds: %d; bound per Lemma 10: O(Γ·logN) with Γ=%d\n", env.Rounds(), m)
+	return b.String(), nil
+}
+
+func sparsifySeries(pts []geom.Point, cl []int32, clustered bool, iters int) ([]int, error) {
+	env, err := newEnv(pts)
+	if err != nil {
+		return nil, err
+	}
+	cfg := config.Default()
+	var sched selectors.PairSelector
+	if clustered {
+		wcss, err := selectors.NewWCSS(env.N, cfg.Kappa, cfg.Rho, cfg.WCSSFactor, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sched = wcss
+	} else {
+		wss, err := selectors.NewWSS(env.N, cfg.Kappa, cfg.WSSFactor, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sched = selectors.Lift(wss)
+	}
+	clusterOf := func(v int) int32 { return 1 }
+	if cl != nil {
+		clusterOf = func(v int) int32 { return cl[v] }
+	}
+	st := sparsify.NewState(len(pts))
+	x := seqNodes(len(pts))
+	series := []int{len(x)}
+	for i := 0; i < iters; i++ {
+		res, err := sparsify.Run(env, st, x, sparsify.Call{
+			Cfg:       cfg,
+			Sched:     sched,
+			ClusterOf: clusterOf,
+			Clustered: clustered,
+			Gamma:     1, // one iteration per call to expose the series
+		})
+		if err != nil {
+			return nil, err
+		}
+		x = res.Survivors
+		series = append(series, len(x))
+	}
+	return series, nil
+}
+
+func hasEdge(adj map[int][]int, u, v int) bool {
+	for _, w := range adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ClusteringCost compares measured Clustering rounds against the Theorem 1
+// bound across a density sweep (E9).
+func ClusteringCost(size Size) (string, error) {
+	deltas := []int{4, 8}
+	n := 48
+	if size == Full {
+		deltas = []int{4, 8, 16, 24}
+		n = 96
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "E9 / Theorem 1 — clustering cost vs Γ·logN·log*N\n\n")
+	fmt.Fprintf(&b, "%6s %6s %10s %14s %10s\n", "n", "Γ", "rounds", "Γ·logN·log*N", "ratio")
+	for _, delta := range deltas {
+		pts := DiskForDensity(n, delta, 3)
+		net, err := dcluster.NewNetwork(pts)
+		if err != nil {
+			return "", err
+		}
+		res, err := net.Cluster()
+		if err != nil {
+			return "", err
+		}
+		gamma := net.Density()
+		bound := core.ClusteringRoundsBound(gamma, n)
+		fmt.Fprintf(&b, "%6d %6d %10d %14.0f %10.1f\n",
+			n, gamma, res.Stats.Rounds, bound, float64(res.Stats.Rounds)/bound)
+	}
+	b.WriteString("\nshape: the rounds/bound ratio stays within a constant band as Γ grows (Theorem 1).\n")
+	return b.String(), nil
+}

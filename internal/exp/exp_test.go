@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment runners are exercised end-to-end at Quick scale: every
+// table/figure must generate without error and contain its headline.
+func TestAllExperimentsQuick(t *testing.T) {
+	tests := []struct {
+		name   string
+		run    func(Size) (string, error)
+		header string
+	}{
+		{"table1", Table1, "Table 1"},
+		{"table2", Table2, "Table 2"},
+		{"fig1", Fig1, "Figure 1"},
+		{"fig2", Fig2, "Figure 2"},
+		{"fig3", Fig3, "Figure 3"},
+		{"fig4", Fig4, "Figure 4"},
+		{"fig56", Fig56, "Figures 5–6"},
+		{"fig7", Fig7, "Figure 7"},
+		{"clustering", ClusteringCost, "Theorem 1"},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			out, err := tt.run(Quick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(out, tt.header) {
+				t.Errorf("report missing header %q:\n%s", tt.header, out)
+			}
+		})
+	}
+}
+
+func TestDiskForDensityApproximation(t *testing.T) {
+	pts := DiskForDensity(200, 8, 1)
+	if len(pts) != 200 {
+		t.Fatalf("n = %d", len(pts))
+	}
+}

@@ -1,0 +1,116 @@
+package geom
+
+import "math"
+
+// GridIndex is a uniform spatial hash over a point set, supporting range
+// queries in O(points in range) after O(n) construction. Cell side equals the
+// query radius it was built for; queries with radius ≤ the build radius scan
+// at most 9 cells' worth of candidates per unit area.
+type GridIndex struct {
+	pts   []Point
+	cell  float64
+	cells map[cellKey][]int
+	min   Point
+}
+
+type cellKey struct{ cx, cy int32 }
+
+// NewGridIndex builds an index over pts for queries of radius ≤ cell.
+// cell must be > 0.
+func NewGridIndex(pts []Point, cell float64) *GridIndex {
+	if cell <= 0 {
+		cell = 1
+	}
+	min, _ := BoundingBox(pts)
+	g := &GridIndex{
+		pts:   pts,
+		cell:  cell,
+		cells: make(map[cellKey][]int, len(pts)),
+		min:   min,
+	}
+	for i, p := range pts {
+		k := g.key(p)
+		g.cells[k] = append(g.cells[k], i)
+	}
+	return g
+}
+
+func (g *GridIndex) key(p Point) cellKey {
+	return cellKey{
+		cx: int32(math.Floor((p.X - g.min.X) / g.cell)),
+		cy: int32(math.Floor((p.Y - g.min.Y) / g.cell)),
+	}
+}
+
+// ForNeighbors calls fn for every index i with Dist(pts[i], p) ≤ r
+// (including p itself if it is one of the indexed points). Iteration stops
+// early if fn returns false. r must be ≤ the build cell size for correctness;
+// larger r widens the scanned cell window automatically.
+func (g *GridIndex) ForNeighbors(p Point, r float64, fn func(i int) bool) {
+	span := int32(math.Ceil(r/g.cell)) + 1
+	k := g.key(p)
+	r2 := r * r
+	for dx := -span; dx <= span; dx++ {
+		for dy := -span; dy <= span; dy++ {
+			for _, i := range g.cells[cellKey{k.cx + dx, k.cy + dy}] {
+				if Dist2(g.pts[i], p) <= r2 {
+					if !fn(i) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Neighbors returns all indices within distance r of p.
+func (g *GridIndex) Neighbors(p Point, r float64) []int {
+	var out []int
+	g.ForNeighbors(p, r, func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// NearestOther returns the index of the nearest indexed point to pts[i]
+// other than i itself, and the distance; ok is false if no other point
+// exists. The search expands ring by ring, so it is efficient even when the
+// nearest neighbour is far.
+func (g *GridIndex) NearestOther(i int) (j int, d float64, ok bool) {
+	if len(g.pts) < 2 {
+		return 0, 0, false
+	}
+	p := g.pts[i]
+	best := math.Inf(1)
+	bestJ := -1
+	for ring := 1; ; ring++ {
+		r := float64(ring) * g.cell
+		g.ForNeighbors(p, r, func(k int) bool {
+			if k == i {
+				return true
+			}
+			if d := Dist(g.pts[k], p); d < best {
+				best = d
+				bestJ = k
+			}
+			return true
+		})
+		// A hit within the scanned radius is guaranteed nearest once the
+		// scan radius exceeds the best distance found.
+		if bestJ >= 0 && best <= r {
+			return bestJ, best, true
+		}
+		if r > 4*g.spanUpper() { // no other point anywhere
+			if bestJ >= 0 {
+				return bestJ, best, true
+			}
+			return 0, 0, false
+		}
+	}
+}
+
+func (g *GridIndex) spanUpper() float64 {
+	min, max := BoundingBox(g.pts)
+	return math.Max(max.X-min.X, max.Y-min.Y) + g.cell
+}

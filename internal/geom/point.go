@@ -1,0 +1,82 @@
+// Package geom provides the 2-D Euclidean geometry substrate used by the
+// SINR simulator and the clustering algorithms: points, distances, packing
+// bounds (the function χ(r1, r2) from the paper's preliminaries), spatial
+// grids for neighbourhood queries, and deterministic topology generators.
+package geom
+
+import "math"
+
+// Point is a location in the 2-D Euclidean plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{X: x, Y: y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Dist returns the Euclidean distance between p and q.
+func Dist(p, q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. It avoids
+// the square root and is the preferred comparison primitive in hot loops.
+func Dist2(p, q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return dx*dx + dy*dy
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p minus q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Norm returns the Euclidean norm of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// InBall reports whether p lies in the closed ball B(c, r).
+func InBall(p, c Point, r float64) bool {
+	return Dist2(p, c) <= r*r
+}
+
+// BoundingBox returns the axis-aligned bounding box of pts. It returns
+// zero-value points for an empty slice.
+func BoundingBox(pts []Point) (min, max Point) {
+	if len(pts) == 0 {
+		return Point{}, Point{}
+	}
+	min, max = pts[0], pts[0]
+	for _, p := range pts[1:] {
+		if p.X < min.X {
+			min.X = p.X
+		}
+		if p.Y < min.Y {
+			min.Y = p.Y
+		}
+		if p.X > max.X {
+			max.X = p.X
+		}
+		if p.Y > max.Y {
+			max.Y = p.Y
+		}
+	}
+	return min, max
+}
+
+// Centroid returns the arithmetic mean of pts, or the zero point if empty.
+func Centroid(pts []Point) Point {
+	if len(pts) == 0 {
+		return Point{}
+	}
+	var c Point
+	for _, p := range pts {
+		c.X += p.X
+		c.Y += p.Y
+	}
+	return c.Scale(1 / float64(len(pts)))
+}

@@ -1,0 +1,203 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Topology generators. All generators are deterministic given the seed and
+// produce point sets whose communication graph (radius 1−ε) is connected for
+// the documented parameter ranges; callers should verify connectivity with
+// Connected when it matters.
+
+// UniformDisk places n points uniformly at random in a disk of the given
+// radius centred at the origin.
+func UniformDisk(n int, radius float64, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		r := radius * math.Sqrt(rng.Float64())
+		a := 2 * math.Pi * rng.Float64()
+		pts[i] = Point{r * math.Cos(a), r * math.Sin(a)}
+	}
+	return pts
+}
+
+// UniformSquare places n points uniformly at random in the axis-aligned
+// square [0,side]×[0,side].
+func UniformSquare(n int, side float64, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{side * rng.Float64(), side * rng.Float64()}
+	}
+	return pts
+}
+
+// Strip places n points uniformly in a rectangle of the given length and
+// height with the left edge at the origin. Strips produce multi-hop networks
+// with diameter ≈ length, used by the global-broadcast experiments.
+func Strip(n int, length, height float64, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{length * rng.Float64(), height * rng.Float64()}
+	}
+	return pts
+}
+
+// ConnectedStrip places points along a strip ensuring connectivity at radius
+// rad: it first lays a backbone of evenly spaced points (spacing rad·0.9)
+// along the centre line, then scatters the remaining points uniformly.
+// It panics if n is too small to build the backbone.
+func ConnectedStrip(n int, length, height, rad float64, seed int64) []Point {
+	spacing := rad * 0.9
+	backbone := int(math.Ceil(length/spacing)) + 1
+	if backbone > n {
+		panic(fmt.Sprintf("geom: ConnectedStrip needs ≥ %d points for length %.2f", backbone, length))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, 0, n)
+	for i := 0; i < backbone; i++ {
+		pts = append(pts, Point{float64(i) * spacing, height / 2})
+	}
+	for len(pts) < n {
+		pts = append(pts, Point{length * rng.Float64(), height * rng.Float64()})
+	}
+	return pts
+}
+
+// GridLattice places points on a k×k lattice with the given spacing. If
+// jitter > 0, each point is perturbed uniformly by ±jitter in each axis.
+func GridLattice(k int, spacing, jitter float64, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, 0, k*k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			p := Point{float64(i) * spacing, float64(j) * spacing}
+			if jitter > 0 {
+				p.X += (2*rng.Float64() - 1) * jitter
+				p.Y += (2*rng.Float64() - 1) * jitter
+			}
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+// GaussianClusters places n points in c clumps: clump centres uniform in a
+// square of the given side, points normal around their centre with the given
+// standard deviation. This is the "dense areas" topology that motivates the
+// paper's sparsification machinery.
+func GaussianClusters(n, c int, side, stddev float64, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]Point, c)
+	for i := range centers {
+		centers[i] = Point{side * rng.Float64(), side * rng.Float64()}
+	}
+	pts := make([]Point, n)
+	for i := range pts {
+		c := centers[i%len(centers)]
+		pts[i] = Point{c.X + rng.NormFloat64()*stddev, c.Y + rng.NormFloat64()*stddev}
+	}
+	return pts
+}
+
+// LinePath places n points on the x-axis with the given spacing. Spacing just
+// below the connectivity radius yields a path graph of diameter n−1.
+func LinePath(n int, spacing float64) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{float64(i) * spacing, 0}
+	}
+	return pts
+}
+
+// CommGraph returns the adjacency lists of the communication graph on pts:
+// edges between distinct points at distance ≤ rad.
+func CommGraph(pts []Point, rad float64) [][]int {
+	g := NewGridIndex(pts, rad)
+	adj := make([][]int, len(pts))
+	for i := range pts {
+		g.ForNeighbors(pts[i], rad, func(j int) bool {
+			if j != i {
+				adj[i] = append(adj[i], j)
+			}
+			return true
+		})
+	}
+	return adj
+}
+
+// Connected reports whether the communication graph on pts with the given
+// radius is connected.
+func Connected(pts []Point, rad float64) bool {
+	if len(pts) == 0 {
+		return true
+	}
+	adj := CommGraph(pts, rad)
+	seen := make([]bool, len(pts))
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				count++
+				stack = append(stack, u)
+			}
+		}
+	}
+	return count == len(pts)
+}
+
+// Eccentricity returns the BFS hop-distance from src to every point in the
+// communication graph of radius rad; unreachable points get -1.
+func Eccentricity(pts []Point, rad float64, src int) []int {
+	adj := CommGraph(pts, rad)
+	dist := make([]int, len(pts))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range adj[v] {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// Diameter returns the hop diameter of the communication graph (max over a
+// double BFS sweep from node 0 — exact for trees, a standard 2-approximation
+// in general; used only for reporting).
+func Diameter(pts []Point, rad float64) int {
+	if len(pts) == 0 {
+		return 0
+	}
+	d0 := Eccentricity(pts, rad, 0)
+	far, best := 0, 0
+	for i, d := range d0 {
+		if d > best {
+			best, far = d, i
+		}
+	}
+	d1 := Eccentricity(pts, rad, far)
+	best = 0
+	for _, d := range d1 {
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,131 @@
+// Package labeling implements the c-imperfect cluster labeling of Lemma 11:
+// given the parent/child forest produced by FullSparsification, it assigns
+// every node a label ≤ Γ such that within each cluster every label repeats
+// at most c = O(1) times (one tree per surviving root, trees labelled
+// 1..size independently).
+//
+// Subtree sizes are already known (piggybacked on the choose-parent
+// messages during sparsification), so only the top-down pass communicates:
+// removal batches are replayed in reverse time order, and in each batch
+// parents hand each child its label range — one schedule pass per child
+// rank, at most κ per batch.
+package labeling
+
+import (
+	"fmt"
+	"sort"
+
+	"dcluster/internal/sim"
+	"dcluster/internal/sparsify"
+)
+
+// Unlabeled marks nodes that did not receive a label.
+const Unlabeled int32 = 0
+
+// Result carries the computed labels.
+type Result struct {
+	// Label[node] ∈ [1..Γ] for every participant, Unlabeled otherwise.
+	Label []int32
+}
+
+// Run performs the top-down labeling over the forest recorded in st by a
+// FullSparsification whose levels are given. Every node of levels.Levels[0]
+// receives a label.
+func Run(env *sim.Env, st *sparsify.State, levels *sparsify.FullLevels) (*Result, error) {
+	n := len(st.Parent)
+	label := make([]int32, n)
+	// rangeEnd[v]: end of the subrange assigned to v's subtree; label(v) is
+	// its start. Roots initialise their own ranges locally.
+	rangeEnd := make([]int, n)
+	for _, r := range levels.Roots(st) {
+		label[r] = 1
+		rangeEnd[r] = st.SubtreeSize[r]
+	}
+
+	// Replay batches newest-first: parents are always labelled before any
+	// batch containing their children is processed (children are removed
+	// strictly before their parent, so the parent's own label arrives in a
+	// strictly later batch — or it is a root).
+	for bi := len(st.Batches) - 1; bi >= 0; bi-- {
+		b := st.Batches[bi]
+		// Parents owning children in this batch, with those children in
+		// deterministic order.
+		owners := map[int][]int{}
+		for _, c := range b.Children {
+			p := st.Parent[c]
+			if p < 0 {
+				return nil, fmt.Errorf("labeling: batch child %d has no parent", c)
+			}
+			owners[p] = append(owners[p], c)
+		}
+		maxFan := 0
+		for p, cs := range owners {
+			sort.Slice(cs, func(i, j int) bool { return env.IDs[cs[i]] < env.IDs[cs[j]] })
+			owners[p] = cs
+			if len(cs) > maxFan {
+				maxFan = len(cs)
+			}
+		}
+		for rank := 0; rank < maxFan; rank++ {
+			senders := make([]int, 0, len(owners))
+			for p, cs := range owners {
+				if rank < len(cs) {
+					senders = append(senders, p)
+				}
+			}
+			sort.Ints(senders)
+			msg := func(p int) sim.Msg {
+				cs := owners[p]
+				child := cs[rank]
+				start, end := childRange(st, env, p, int(label[p]), child)
+				return sim.Msg{
+					Kind: sim.KindLabelRange,
+					From: int32(env.IDs[p]),
+					A:    int32(env.IDs[child]),
+					B:    int32(start),
+					C:    int32(end),
+				}
+			}
+			for _, d := range b.Sched.Run(env, senders, msg, b.Children) {
+				if d.Msg.Kind != sim.KindLabelRange {
+					continue
+				}
+				u := d.Receiver
+				if int(d.Msg.A) != env.IDs[u] {
+					continue
+				}
+				if st.Parent[u] != d.Sender {
+					continue
+				}
+				label[u] = d.Msg.B
+				rangeEnd[u] = int(d.Msg.C)
+			}
+		}
+	}
+
+	// Every participant must be labelled.
+	for _, v := range levels.Levels[0] {
+		if label[v] == Unlabeled {
+			return nil, fmt.Errorf("labeling: node %d (id %d) received no label", v, env.IDs[v])
+		}
+	}
+	_ = rangeEnd
+	return &Result{Label: label}, nil
+}
+
+// childRange computes the subrange a parent assigns to one child: the
+// parent keeps its own start a, then hands children consecutive blocks of
+// their subtree sizes, in the parent's deterministic child order.
+func childRange(st *sparsify.State, env *sim.Env, p, parentStart int, child int) (start, end int) {
+	// Deterministic global child order: by ID (parents sort identically).
+	refs := append([]sparsify.ChildRef(nil), st.Children[p]...)
+	sort.Slice(refs, func(i, j int) bool { return env.IDs[refs[i].Node] < env.IDs[refs[j].Node] })
+	off := parentStart + 1
+	for _, r := range refs {
+		if r.Node == child {
+			return off, off + r.Size - 1
+		}
+		off += r.Size
+	}
+	return off, off // unreachable for recorded children
+}

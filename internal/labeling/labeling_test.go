@@ -1,0 +1,144 @@
+package labeling
+
+import (
+	"testing"
+
+	"dcluster/internal/analysis"
+	"dcluster/internal/config"
+	"dcluster/internal/geom"
+	"dcluster/internal/selectors"
+	"dcluster/internal/sim"
+	"dcluster/internal/sinr"
+	"dcluster/internal/sparsify"
+)
+
+func setup(t *testing.T, c, m int, spread float64) (*sim.Env, []geom.Point, []int32) {
+	t.Helper()
+	var pts []geom.Point
+	var cl []int32
+	for i := 0; i < c; i++ {
+		base := geom.Pt(float64(i)*3, 0)
+		for j := 0; j < m; j++ {
+			pts = append(pts, base.Add(geom.Pt(spread*float64(j%4)/4, spread*float64(j/4)/4)))
+			cl = append(cl, int32(i+1))
+		}
+	}
+	f, err := sinr.NewField(sinr.DefaultParams(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.MustEnv(f, nil, 0), pts, cl
+}
+
+func runFull(t *testing.T, env *sim.Env, cl []int32, gamma int) (*sparsify.State, *sparsify.FullLevels) {
+	t.Helper()
+	cfg := config.Default()
+	wcss, err := selectors.NewWCSS(env.N, cfg.Kappa, cfg.Rho, cfg.WCSSFactor, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sparsify.NewState(env.F.N())
+	active := make([]int, env.F.N())
+	for i := range active {
+		active[i] = i
+	}
+	levels, err := sparsify.Full(env, st, active, sparsify.Call{
+		Cfg:       cfg,
+		Sched:     wcss,
+		ClusterOf: func(v int) int32 { return cl[v] },
+		Clustered: true,
+		Gamma:     gamma,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, levels
+}
+
+func TestLabelingCoversAllNodes(t *testing.T) {
+	env, _, cl := setup(t, 3, 12, 0.3)
+	st, levels := runFull(t, env, cl, 12)
+	res, err := Run(env, st, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < env.F.N(); v++ {
+		if res.Label[v] == Unlabeled {
+			t.Errorf("node %d unlabeled", v)
+		}
+	}
+}
+
+func TestLabelingIsImperfect(t *testing.T) {
+	env, _, cl := setup(t, 3, 16, 0.35)
+	st, levels := runFull(t, env, cl, 16)
+	res, err := Run(env, st, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c = number of trees per cluster = final-level nodes per cluster.
+	perCluster := map[int32]int{}
+	for _, v := range levels.Final() {
+		perCluster[cl[v]]++
+	}
+	c := 0
+	for _, k := range perCluster {
+		if k > c {
+			c = k
+		}
+	}
+	if c == 0 {
+		t.Fatal("no roots")
+	}
+	// Labels within [1..Γ], at most c repeats per (cluster,label).
+	if err := analysis.ValidateLabeling(cl, res.Label, c, 16); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLabelsUniqueWithinTree(t *testing.T) {
+	env, _, cl := setup(t, 2, 10, 0.25)
+	st, levels := runFull(t, env, cl, 10)
+	res, err := Run(env, st, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group nodes by tree root; labels must be a permutation of 1..size.
+	root := func(v int) int {
+		for st.Parent[v] != -1 {
+			v = st.Parent[v]
+		}
+		return v
+	}
+	trees := map[int][]int32{}
+	for v := 0; v < env.F.N(); v++ {
+		trees[root(v)] = append(trees[root(v)], res.Label[v])
+	}
+	for r, labels := range trees {
+		seen := map[int32]bool{}
+		for _, l := range labels {
+			if l < 1 || int(l) > len(labels) {
+				t.Errorf("tree %d: label %d outside [1..%d]", r, l, len(labels))
+			}
+			if seen[l] {
+				t.Errorf("tree %d: duplicate label %d", r, l)
+			}
+			seen[l] = true
+		}
+	}
+}
+
+func TestLabelingSingletons(t *testing.T) {
+	// One isolated node per cluster: every node is a root labelled 1.
+	env, _, cl := setup(t, 4, 1, 0)
+	st, levels := runFull(t, env, cl, 1)
+	res, err := Run(env, st, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < env.F.N(); v++ {
+		if res.Label[v] != 1 {
+			t.Errorf("singleton %d labelled %d, want 1", v, res.Label[v])
+		}
+	}
+}

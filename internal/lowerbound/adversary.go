@@ -1,0 +1,176 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dcluster/internal/selectors"
+	"dcluster/internal/sinr"
+)
+
+// Schedule is a deterministic oblivious transmission schedule: whether the
+// node with a given ID transmits in a given round (counted from the round
+// the core was awakened) depends only on (id, round). Every selector-driven
+// protocol in this repository induces such a schedule; Lemma 13 extends the
+// argument to arbitrary deterministic algorithms via the channel-feedback
+// invariant, which oblivious schedules satisfy trivially.
+type Schedule interface {
+	Transmits(id, round int) bool
+}
+
+// SelectorSchedule adapts a combinatorial selector (repeated cyclically) to
+// the Schedule interface — the shape of every deterministic protocol built
+// in this repository.
+type SelectorSchedule struct {
+	Sel selectors.Selector
+}
+
+// Transmits reports whether id transmits at the given round.
+func (s SelectorSchedule) Transmits(id, round int) bool {
+	return s.Sel.Contains(round%s.Sel.Len(), id)
+}
+
+// RoundRobinSchedule is the trivial deterministic schedule: id transmits
+// when round ≡ id (mod n).
+type RoundRobinSchedule struct{ N int }
+
+// Transmits reports whether id transmits at the given round.
+func (s RoundRobinSchedule) Transmits(id, round int) bool {
+	return round%s.N == id%s.N
+}
+
+// Assignment is the adversary's output.
+type Assignment struct {
+	// CoreIDs[i] is the ID assigned to v_i (length ∆+2).
+	CoreIDs []int
+	// BlockedRounds is r_last: through this round (counted from wake-up),
+	// v_{∆+1} is never the unique transmitter of the core, so t cannot have
+	// received the message (Fact 2). Delivery needs > BlockedRounds rounds.
+	BlockedRounds int
+}
+
+// Adversary implements the ID assignment of Lemma 13 against an oblivious
+// schedule: it processes "next transmission" rounds in increasing order and
+// pins the (up to two) IDs that would transmit next onto the next pair
+// (v_{2a}, v_{2a+1}), ensuring every round up to r_last has either no core
+// transmitter or at least two — or a unique transmitter that is not
+// v_{∆+1}. pool must contain at least ∆+2 IDs; horizon caps the search.
+func Adversary(sched Schedule, pool []int, delta, horizon int) (*Assignment, error) {
+	need := delta + 2
+	if len(pool) < need {
+		return nil, fmt.Errorf("lowerbound: pool %d < ∆+2 = %d", len(pool), need)
+	}
+	remaining := append([]int(nil), pool...)
+	sort.Ints(remaining)
+
+	core := make([]int, need)
+	r := 0 // last processed round
+	for a := 0; 2*a < need; a++ {
+		// First transmission round > r for each remaining ID.
+		type cand struct{ id, round int }
+		best := math.MaxInt
+		var firsts []cand
+		for _, id := range remaining {
+			fr := firstRound(sched, id, r, horizon)
+			firsts = append(firsts, cand{id: id, round: fr})
+			if fr < best {
+				best = fr
+			}
+		}
+		if best == math.MaxInt {
+			// Nobody transmits again within the horizon: the schedule is
+			// blocked for the rest of it regardless of assignment.
+			for i := 2 * a; i < need; i++ {
+				core[i] = remaining[i-2*a]
+			}
+			return &Assignment{CoreIDs: core, BlockedRounds: horizon}, nil
+		}
+		var chosen []int
+		for _, c := range firsts {
+			if c.round == best && len(chosen) < 2 {
+				chosen = append(chosen, c.id)
+			}
+		}
+		if len(chosen) == 1 {
+			// Unique next transmitter: pair it with an arbitrary ID whose
+			// next round is strictly later. Put the transmitter at the
+			// EVEN slot — for the final pair that is v_∆, keeping v_{∆+1}
+			// silent at round `best`.
+			for _, c := range firsts {
+				if c.id != chosen[0] {
+					chosen = append(chosen, c.id)
+					break
+				}
+			}
+		}
+		idx := 2 * a
+		core[idx] = chosen[0]
+		if idx+1 < need {
+			core[idx+1] = chosen[1]
+		}
+		remaining = removeIDs(remaining, chosen...)
+		r = best
+	}
+	return &Assignment{CoreIDs: core, BlockedRounds: r}, nil
+}
+
+func firstRound(sched Schedule, id, after, horizon int) int {
+	for r := after + 1; r <= horizon; r++ {
+		if sched.Transmits(id, r) {
+			return r
+		}
+	}
+	return math.MaxInt
+}
+
+func removeIDs(xs []int, drop ...int) []int {
+	out := xs[:0]
+	for _, x := range xs {
+		rm := false
+		for _, d := range drop {
+			if x == d {
+				rm = true
+				break
+			}
+		}
+		if !rm {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// DeliveryRound simulates the schedule on a gadget field with the given
+// core ID assignment and returns the first round (from wake-up) at which
+// the target t receives the message from v_{∆+1}, or -1 within horizon.
+// The simulation wakes the whole core at round 0 (s's solo transmission)
+// and then lets the core follow the schedule.
+func DeliveryRound(chain *Chain, f *sinr.Field, sched Schedule, coreIDs []int, horizon int) int {
+	g := chain.Gadgets[0]
+	var txs []int
+	for r := 1; r <= horizon; r++ {
+		txs = txs[:0]
+		for i, v := range g.Core {
+			if sched.Transmits(coreIDs[i], r) {
+				txs = append(txs, v)
+			}
+		}
+		if len(txs) == 0 {
+			continue
+		}
+		recs := f.Deliver(txs, []int{g.T}, nil)
+		for _, rec := range recs {
+			if rec.Receiver == g.T && rec.Sender == g.Core[len(g.Core)-1] {
+				return r
+			}
+		}
+	}
+	return -1
+}
+
+// NaiveDeliveryRound is DeliveryRound with the identity assignment
+// (IDs in pool order) — the non-adversarial comparison point.
+func NaiveDeliveryRound(chain *Chain, f *sinr.Field, sched Schedule, pool []int, horizon int) int {
+	return DeliveryRound(chain, f, sched, pool[:len(chain.Gadgets[0].Core)], horizon)
+}

@@ -1,0 +1,333 @@
+package lowerbound
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dcluster/internal/selectors"
+	"dcluster/internal/sinr"
+)
+
+func gadgetParams() sinr.Params { return GadgetParams() }
+
+func TestBuildGadgetGeometry(t *testing.T) {
+	for _, delta := range []int{2, 8, 16, 24} {
+		c, err := BuildGadget(delta, gadgetParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.CheckGeometry(); err != nil {
+			t.Errorf("∆=%d: %v", delta, err)
+		}
+		if len(c.Gadgets[0].Core) != delta+2 {
+			t.Errorf("∆=%d: core size %d", delta, len(c.Gadgets[0].Core))
+		}
+		// Core span = Θ(ε): within (ε, (β^{1/α}−1)·1) per the construction.
+		g := c.Gadgets[0]
+		eps := c.Params.Eps
+		span := c.Dist[g.Core[0]][g.Core[len(g.Core)-1]]
+		if span <= eps || span >= 0.3 {
+			t.Errorf("∆=%d: core span %.4f outside (ε, 0.3)", delta, span)
+		}
+	}
+}
+
+func TestBuildGadgetPrecisionLargeDelta(t *testing.T) {
+	// The exact-gap distance matrix must keep the tiny core gaps distinct
+	// even when absolute coordinates would absorb them.
+	c, err := BuildGadget(40, gadgetParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Gadgets[0]
+	gf := float64(c.Growth)
+	d01 := c.Dist[g.Core[0]][g.Core[1]]
+	want := c.Params.Eps * (gf - 1) * math.Pow(gf, -40)
+	if d01 <= 0 || math.Abs(d01-want)/want > 1e-9 {
+		t.Errorf("v0–v1 gap %.3e, want %.3e", d01, want)
+	}
+}
+
+func TestBuildChainValidation(t *testing.T) {
+	if _, err := BuildChain(0, 1, gadgetParams()); err == nil {
+		t.Error("delta 0 must error")
+	}
+	if _, err := BuildChain(4, 0, gadgetParams()); err == nil {
+		t.Error("0 gadgets must error")
+	}
+	big := gadgetParams()
+	big.Eps = 0.5
+	if _, err := BuildChain(4, 1, big); err == nil {
+		t.Error("large ε must error")
+	}
+}
+
+func TestChainField(t *testing.T) {
+	c, _ := BuildGadget(4, gadgetParams())
+	if _, err := c.Field(); err != nil {
+		t.Errorf("field construction failed: %v", err)
+	}
+}
+
+// TestFact2TwoTransmittersBlock verifies Fact 2.1 on the physical field:
+// when two core nodes v_i, v_j (i<j) transmit, no node v_k with k > j
+// receives anything.
+func TestFact2TwoTransmittersBlock(t *testing.T) {
+	c, _ := BuildGadget(10, gadgetParams())
+	f, err := c.Field()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Gadgets[0]
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 6; j++ {
+			txs := []int{g.Core[i], g.Core[j]}
+			recs := f.Deliver(txs, g.Core[j+1:], nil)
+			for _, r := range recs {
+				t.Errorf("tx {v%d,v%d}: v-node %d received from %d", i, j, r.Receiver, r.Sender)
+			}
+		}
+	}
+}
+
+// TestFact2TargetNeedsSoloLast verifies Fact 2.2: t receives iff v_{∆+1} is
+// the unique gadget transmitter.
+func TestFact2TargetNeedsSoloLast(t *testing.T) {
+	c, _ := BuildGadget(8, gadgetParams())
+	f, err := c.Field()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Gadgets[0]
+	last := g.Core[len(g.Core)-1]
+
+	// Solo v_{∆+1}: t receives.
+	recs := f.Deliver([]int{last}, []int{g.T}, nil)
+	if len(recs) != 1 || recs[0].Sender != last {
+		t.Fatalf("solo v_{∆+1} not received by t: %v", recs)
+	}
+	// v_{∆+1} plus any other core node: t receives nothing.
+	for i := 0; i < len(g.Core)-1; i++ {
+		recs := f.Deliver([]int{last, g.Core[i]}, []int{g.T}, nil)
+		if len(recs) != 0 {
+			t.Errorf("t received despite interferer v%d", i)
+		}
+	}
+	// Any non-last solo core transmitter: t receives nothing.
+	for i := 0; i < len(g.Core)-1; i++ {
+		recs := f.Deliver([]int{g.Core[i]}, []int{g.T}, nil)
+		if len(recs) != 0 {
+			t.Errorf("t received from v%d", i)
+		}
+	}
+}
+
+func TestSourceWakesWholeCore(t *testing.T) {
+	c, _ := BuildGadget(12, gadgetParams())
+	f, err := c.Field()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Gadgets[0]
+	recs := f.Deliver([]int{g.S}, g.Core, nil)
+	got := map[int]bool{}
+	for _, r := range recs {
+		got[r.Receiver] = true
+	}
+	for i, v := range g.Core {
+		if !got[v] {
+			t.Errorf("core node v%d did not hear s", i)
+		}
+	}
+}
+
+func TestAdversaryBlocksLinearRounds(t *testing.T) {
+	// Lemma 13 against an ssf-driven schedule: the adversary must block
+	// delivery for Ω(∆) rounds (each pair-assignment consumes ≥ 1 round).
+	for _, delta := range []int{4, 8, 16} {
+		ssf, err := selectors.NewSSF(256, 8, 1, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := SelectorSchedule{Sel: ssf}
+		pool := make([]int, 64)
+		for i := range pool {
+			pool[i] = i + 1
+		}
+		horizon := 100000
+		asg, err := Adversary(sched, pool, delta, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if asg.BlockedRounds < (delta+2)/2 {
+			t.Errorf("∆=%d: blocked only %d rounds, want ≥ %d", delta, asg.BlockedRounds, (delta+2)/2)
+		}
+
+		// Physical verification: the simulated delivery round must exceed
+		// the certified blocked prefix.
+		c, err := BuildGadget(delta, gadgetParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := c.Field()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dr := DeliveryRound(c, f, sched, asg.CoreIDs, horizon)
+		if dr >= 0 && dr <= asg.BlockedRounds {
+			t.Errorf("∆=%d: delivered at round %d within certified blocked prefix %d", delta, dr, asg.BlockedRounds)
+		}
+	}
+}
+
+func TestAdversaryVsNaiveAssignment(t *testing.T) {
+	// The adversarial assignment must never deliver earlier than the naive
+	// one on the same schedule.
+	delta := 8
+	ssf, _ := selectors.NewSSF(128, 6, 1, 13)
+	sched := SelectorSchedule{Sel: ssf}
+	pool := make([]int, 32)
+	for i := range pool {
+		pool[i] = i + 1
+	}
+	c, _ := BuildGadget(delta, gadgetParams())
+	f, err := c.Field()
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := 50000
+	asg, err := Adversary(sched, pool, delta, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := DeliveryRound(c, f, sched, asg.CoreIDs, horizon)
+	naive := NaiveDeliveryRound(c, f, sched, pool, horizon)
+	if naive < 0 {
+		t.Skip("naive assignment did not deliver within horizon")
+	}
+	if adv >= 0 && adv < naive {
+		t.Errorf("adversarial delivery %d earlier than naive %d", adv, naive)
+	}
+}
+
+func TestRandomizedDecayCrossesGadgetFast(t *testing.T) {
+	// The separation of Theorem 6: a randomized (decay) strategy crosses
+	// the gadget in O(log ∆) expected rounds regardless of IDs, far below
+	// the deterministic Ω(∆) barrier.
+	delta := 16
+	c, _ := BuildGadget(delta, gadgetParams())
+	f, err := c.Field()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Gadgets[0]
+	rng := rand.New(rand.NewSource(5))
+	depth := int(math.Ceil(math.Log2(float64(2*delta)))) + 1
+	delivered := -1
+	var txs []int
+	for r := 1; r <= 64*depth && delivered < 0; r++ {
+		p := math.Pow(2, -float64((r-1)%depth+1))
+		txs = txs[:0]
+		for _, v := range g.Core {
+			if rng.Float64() < p {
+				txs = append(txs, v)
+			}
+		}
+		for _, rec := range f.Deliver(txs, []int{g.T}, nil) {
+			if rec.Receiver == g.T {
+				delivered = r
+			}
+		}
+	}
+	if delivered < 0 {
+		t.Fatal("randomized decay failed to cross the gadget")
+	}
+	if delivered >= delta*2 {
+		t.Logf("note: decay took %d rounds (∆=%d) — acceptable but slow for this seed", delivered, delta)
+	}
+}
+
+func TestRoundRobinScheduleAdversary(t *testing.T) {
+	// Round robin over N IDs: the adversary packs transmissions so that the
+	// blocked prefix is still Ω(∆) (consecutive IDs transmit in consecutive
+	// rounds, singletons land on even slots).
+	n := 64
+	sched := RoundRobinSchedule{N: n}
+	pool := make([]int, n)
+	for i := range pool {
+		pool[i] = i + 1
+	}
+	asg, err := Adversary(sched, pool, 8, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.BlockedRounds < 5 {
+		t.Errorf("blocked rounds %d too small", asg.BlockedRounds)
+	}
+}
+
+func TestBufferLen(t *testing.T) {
+	// κ = ⌈∆^{1/α}/(1−ε)⌉.
+	if got := BufferLen(27, 3, 0.1); got != 4 { // 27^{1/3}/0.9 = 3.33 → 4
+		t.Errorf("BufferLen(27,3,0.1) = %d, want 4", got)
+	}
+	if got := BufferLen(1, 3, 0.1); got != 2 { // 1/0.9 → 2
+		t.Errorf("BufferLen(1,3,0.1) = %d, want 2", got)
+	}
+}
+
+func TestChainHasBuffersAndManyGadgets(t *testing.T) {
+	c, err := BuildChain(8, 3, gadgetParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gadgets) != 3 {
+		t.Fatalf("gadgets = %d", len(c.Gadgets))
+	}
+	buffers := 0
+	for _, r := range c.Role {
+		if r == RoleBuffer {
+			buffers++
+		}
+	}
+	p := gadgetParams()
+	want := 2 * BufferLen(8, p.Alpha, p.Eps)
+	if buffers != want {
+		t.Errorf("buffer nodes = %d, want %d", buffers, want)
+	}
+	// Whole chain must be physically instantiable.
+	if _, err := c.Field(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBufferDampsInterference is the Fact 3 flavour: with every node of a
+// DIFFERENT gadget's core transmitting, the interference at this gadget's
+// core stays below the ν needed to corrupt s's wake-up call.
+func TestBufferDampsInterference(t *testing.T) {
+	c, err := BuildChain(8, 2, gadgetParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.Field()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := c.Gadgets[1]
+	// First gadget's entire core transmits concurrently with g2's s.
+	txs := append([]int{}, c.Gadgets[0].Core...)
+	txs = append(txs, g2.S)
+	recs := f.Deliver(txs, g2.Core, nil)
+	got := map[int]bool{}
+	for _, r := range recs {
+		if r.Sender == g2.S {
+			got[r.Receiver] = true
+		}
+	}
+	for i, v := range g2.Core {
+		if !got[v] {
+			t.Errorf("gadget-2 core node v%d lost s's message to cross-gadget interference", i)
+		}
+	}
+}

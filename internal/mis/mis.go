@@ -1,0 +1,262 @@
+// Package mis computes a maximal independent set on the constant-degree
+// proximity graphs, simulating the deterministic log*-style algorithm the
+// paper cites ([34], Schneider–Wattenhofer) with message exchanges only.
+//
+// The implementation is Linial-style colour reduction realised with the
+// repository's own ssf-derived cover-free families — from an (m, k+1)-ssf
+// S_1..S_t, the sets F_x = {i : x ∈ S_i} form a k-cover-free family, so a
+// node can pick a colour index owned by none of its ≤ k neighbours —
+// followed by a colour-class sweep in which local colour minima join the
+// MIS. Every LOCAL round is one invocation of the caller-supplied exchange
+// transport (an execution of the O(log N) exchange schedule, as §4.1
+// prescribes).
+package mis
+
+import (
+	"sort"
+
+	"dcluster/internal/selectors"
+	"dcluster/internal/sim"
+)
+
+// Exchange runs one LOCAL communication round: every participating node
+// broadcasts msgOf(node); deliveries across every graph edge are guaranteed
+// by the transport (Lemma 7 / Lemma 4).
+type Exchange func(msgOf func(node int) sim.Msg) []sim.Delivery
+
+// Options tunes the computation.
+type Options struct {
+	// IDBound is N: the initial colour space (colours start as IDs).
+	IDBound int
+	// Factor scales the colour-reduction ssf length.
+	Factor float64
+	// Seed fixes the cover-free families (shared knowledge).
+	Seed uint64
+	// Fast selects colour reduction + sweep (true) or iterated local
+	// minima on IDs (false).
+	Fast bool
+	// MaxSweepRounds caps the sweep (safety net; the sweep provably ends
+	// within the number of colours). 0 means no cap.
+	MaxSweepRounds int
+}
+
+// Result reports the MIS and the LOCAL-round cost.
+type Result struct {
+	InMIS       map[int]bool
+	LocalRounds int
+}
+
+// Compute returns a maximal independent set of the graph (nodes, adj).
+// idOf maps nodes to their protocol IDs; adj must be symmetric. All
+// decisions use only per-node local knowledge (own ID, neighbour IDs from
+// the graph construction, and received messages).
+func Compute(nodes []int, idOf func(int) int, adj map[int][]int, ex Exchange, opt Options) Result {
+	if len(nodes) == 0 {
+		return Result{InMIS: map[int]bool{}}
+	}
+	color := make(map[int]int, len(nodes))
+	for _, v := range nodes {
+		color[v] = idOf(v)
+	}
+	rounds := 0
+	if opt.Fast {
+		rounds = reduceColors(nodes, adj, color, ex, opt)
+	}
+	inMIS, sweepRounds := sweep(nodes, adj, color, ex, opt.MaxSweepRounds)
+	return Result{InMIS: inMIS, LocalRounds: rounds + sweepRounds}
+}
+
+// maxDegree returns the maximum degree among nodes.
+func maxDegree(nodes []int, adj map[int][]int) int {
+	d := 0
+	for _, v := range nodes {
+		if len(adj[v]) > d {
+			d = len(adj[v])
+		}
+	}
+	return d
+}
+
+// reduceColors iteratively shrinks the colour space from [1..N] to O(1)
+// colours, one LOCAL round per iteration; returns LOCAL rounds used.
+// The colouring stays proper throughout: if two neighbours picked the same
+// new colour c, then c ∈ F_{cv} \ F_{cu} and c ∈ F_{cu} \ F_{cv} — absurd.
+func reduceColors(nodes []int, adj map[int][]int, color map[int]int, ex Exchange, opt Options) int {
+	deg := maxDegree(nodes, adj)
+	m := opt.IDBound
+	if m < 2 {
+		m = 2
+	}
+	rounds := 0
+	for iter := 0; iter < 64; iter++ { // log* N + slack; loop exits on no progress
+		sel, err := selectors.NewSSF(m, deg+1, opt.Factor, opt.Seed^uint64(0xC01F+iter))
+		if err != nil || sel.Len() >= m {
+			break // colour space already at the fixpoint scale
+		}
+		// One LOCAL round: broadcast current colour.
+		neigh := gatherNeighborValues(nodes, adj, color, ex, sim.KindColor)
+		rounds++
+		next := make(map[int]int, len(nodes))
+		worst := 0
+		for _, v := range nodes {
+			nc := pickFreeIndex(sel, color[v], neigh[v])
+			if nc == 0 {
+				nc = sel.Len() + color[v] // fallback: stay proper, larger colour
+			}
+			next[v] = nc
+			if nc > worst {
+				worst = nc
+			}
+		}
+		for v, c := range next {
+			color[v] = c
+		}
+		if worst >= m {
+			break // no progress
+		}
+		m = worst
+	}
+	return rounds
+}
+
+// gatherNeighborValues runs one exchange where every node broadcasts its
+// value (in Msg.A) and collects, per node, the latest value of each
+// neighbour in the graph.
+func gatherNeighborValues(nodes []int, adj map[int][]int, val map[int]int, ex Exchange, kind sim.Kind) map[int]map[int]int {
+	ds := ex(func(v int) sim.Msg {
+		return sim.Msg{Kind: kind, A: int32(val[v])}
+	})
+	out := make(map[int]map[int]int, len(nodes))
+	isNeighbor := make(map[int]map[int]bool, len(nodes))
+	for _, v := range nodes {
+		nb := make(map[int]bool, len(adj[v]))
+		for _, u := range adj[v] {
+			nb[u] = true
+		}
+		isNeighbor[v] = nb
+		out[v] = make(map[int]int, len(adj[v]))
+	}
+	for _, d := range ds {
+		if d.Msg.Kind != kind {
+			continue
+		}
+		if m, ok := out[d.Receiver]; ok && isNeighbor[d.Receiver][d.Sender] {
+			m[d.Sender] = int(d.Msg.A)
+		}
+	}
+	return out
+}
+
+// pickFreeIndex returns the smallest index i with own ∈ S_i and u ∉ S_i for
+// every neighbour colour u, or 0 if none exists.
+func pickFreeIndex(sel *selectors.SSF, own int, neighborColors map[int]int) int {
+	distinct := make([]int, 0, len(neighborColors))
+	seen := map[int]bool{}
+	for _, c := range neighborColors {
+		if c != own && !seen[c] {
+			seen[c] = true
+			distinct = append(distinct, c)
+		}
+	}
+	sort.Ints(distinct)
+	for i := 0; i < sel.Len(); i++ {
+		if !sel.Contains(i, own) {
+			continue
+		}
+		free := true
+		for _, c := range distinct {
+			if sel.Contains(i, c) {
+				free = false
+				break
+			}
+		}
+		if free {
+			return i + 1 // colours are 1-based
+		}
+	}
+	return 0
+}
+
+// sweep runs the colour-class elimination: per LOCAL round each undecided
+// node broadcasts (colour, state); a node whose colour is a strict local
+// minimum among undecided neighbours joins, neighbours of members retire.
+// Terminates within the number of distinct colours (+1) rounds, because the
+// minimal-colour undecided node always joins.
+func sweep(nodes []int, adj map[int][]int, color map[int]int, ex Exchange, cap int) (map[int]bool, int) {
+	const (
+		stUndecided = 0
+		stIn        = 1
+		stOut       = 2
+	)
+	state := make(map[int]int, len(nodes))
+	rounds := 0
+	for {
+		undecided := false
+		for _, v := range nodes {
+			if state[v] == stUndecided {
+				undecided = true
+				break
+			}
+		}
+		if !undecided {
+			break
+		}
+		if cap > 0 && rounds >= cap {
+			break
+		}
+		ds := ex(func(v int) sim.Msg {
+			return sim.Msg{Kind: sim.KindMIS, A: int32(color[v]), B: int32(state[v])}
+		})
+		rounds++
+		// Per-node view of neighbour (colour, state).
+		type info struct{ color, state int }
+		view := make(map[int]map[int]info, len(nodes))
+		nb := make(map[int]map[int]bool, len(nodes))
+		for _, v := range nodes {
+			view[v] = map[int]info{}
+			s := map[int]bool{}
+			for _, u := range adj[v] {
+				s[u] = true
+			}
+			nb[v] = s
+		}
+		for _, d := range ds {
+			if d.Msg.Kind != sim.KindMIS {
+				continue
+			}
+			if m, ok := view[d.Receiver]; ok && nb[d.Receiver][d.Sender] {
+				m[d.Sender] = info{color: int(d.Msg.A), state: int(d.Msg.B)}
+			}
+		}
+		for _, v := range nodes {
+			if state[v] != stUndecided {
+				continue
+			}
+			join := true
+			for _, u := range adj[v] {
+				iv, heard := view[v][u]
+				if !heard {
+					continue // silent neighbour left the protocol earlier
+				}
+				if iv.state == stIn {
+					state[v] = stOut
+					join = false
+					break
+				}
+				if iv.state == stUndecided && iv.color < color[v] {
+					join = false
+				}
+			}
+			if join && state[v] == stUndecided {
+				state[v] = stIn
+			}
+		}
+	}
+	inMIS := make(map[int]bool, len(nodes))
+	for _, v := range nodes {
+		if state[v] == stIn {
+			inMIS[v] = true
+		}
+	}
+	return inMIS, rounds
+}

@@ -1,0 +1,231 @@
+package mis
+
+import (
+	"testing"
+
+	"dcluster/internal/sim"
+)
+
+// perfectExchange delivers every broadcast across every edge of adj —
+// an idealised transport satisfying the Lemma 7 guarantee exactly.
+func perfectExchange(nodes []int, adj map[int][]int) Exchange {
+	return func(msgOf func(node int) sim.Msg) []sim.Delivery {
+		var ds []sim.Delivery
+		for _, v := range nodes {
+			m := msgOf(v)
+			for _, u := range adj[v] {
+				ds = append(ds, sim.Delivery{Receiver: u, Sender: v, Msg: m})
+			}
+		}
+		return ds
+	}
+}
+
+func verifyMIS(t *testing.T, nodes []int, adj map[int][]int, inMIS map[int]bool) {
+	t.Helper()
+	// Independence.
+	for v := range inMIS {
+		for _, u := range adj[v] {
+			if inMIS[u] {
+				t.Fatalf("adjacent nodes %d and %d both in MIS", v, u)
+			}
+		}
+	}
+	// Maximality.
+	for _, v := range nodes {
+		if inMIS[v] {
+			continue
+		}
+		dominated := false
+		for _, u := range adj[v] {
+			if inMIS[u] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			t.Fatalf("node %d neither in MIS nor dominated", v)
+		}
+	}
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func idPlus1(v int) int { return v + 1 }
+
+func defaultOpts() Options {
+	return Options{IDBound: 1 << 16, Factor: 0.5, Seed: 99, Fast: true}
+}
+
+func TestMISOnPath(t *testing.T) {
+	n := 20
+	adj := map[int][]int{}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			adj[i] = append(adj[i], i-1)
+		}
+		if i < n-1 {
+			adj[i] = append(adj[i], i+1)
+		}
+	}
+	nodes := seq(n)
+	res := Compute(nodes, idPlus1, adj, perfectExchange(nodes, adj), defaultOpts())
+	verifyMIS(t, nodes, adj, res.InMIS)
+	if res.LocalRounds <= 0 {
+		t.Error("expected positive LOCAL round count")
+	}
+}
+
+func TestMISOnPathSortedIDsWorstCase(t *testing.T) {
+	// Monotone IDs along a path are the simple-MIS worst case; the colour
+	// reduction must keep LOCAL rounds far below n.
+	n := 200
+	adj := map[int][]int{}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			adj[i] = append(adj[i], i-1)
+		}
+		if i < n-1 {
+			adj[i] = append(adj[i], i+1)
+		}
+	}
+	nodes := seq(n)
+	res := Compute(nodes, idPlus1, adj, perfectExchange(nodes, adj), defaultOpts())
+	verifyMIS(t, nodes, adj, res.InMIS)
+	if res.LocalRounds > n/2 {
+		t.Errorf("fast MIS used %d LOCAL rounds on n=%d path — colour reduction ineffective", res.LocalRounds, n)
+	}
+
+	slow := Compute(nodes, idPlus1, adj, perfectExchange(nodes, adj), Options{IDBound: 1 << 16, Fast: false})
+	verifyMIS(t, nodes, adj, slow.InMIS)
+	if slow.LocalRounds < n-1 {
+		t.Errorf("simple MIS on a sorted path should need ≈ n rounds, got %d", slow.LocalRounds)
+	}
+}
+
+func TestMISEmptyAndSingleton(t *testing.T) {
+	res := Compute(nil, idPlus1, map[int][]int{}, perfectExchange(nil, nil), defaultOpts())
+	if len(res.InMIS) != 0 {
+		t.Error("empty graph must give empty MIS")
+	}
+	nodes := []int{5}
+	res = Compute(nodes, idPlus1, map[int][]int{5: nil}, perfectExchange(nodes, map[int][]int{}), defaultOpts())
+	if !res.InMIS[5] {
+		t.Error("singleton must join the MIS")
+	}
+}
+
+func TestMISIsolatedNodesAllJoin(t *testing.T) {
+	nodes := seq(5)
+	adj := map[int][]int{}
+	res := Compute(nodes, idPlus1, adj, perfectExchange(nodes, adj), defaultOpts())
+	for _, v := range nodes {
+		if !res.InMIS[v] {
+			t.Errorf("isolated node %d must join", v)
+		}
+	}
+}
+
+func TestMISCompleteGraph(t *testing.T) {
+	n := 6
+	nodes := seq(n)
+	adj := map[int][]int{}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	res := Compute(nodes, idPlus1, adj, perfectExchange(nodes, adj), defaultOpts())
+	verifyMIS(t, nodes, adj, res.InMIS)
+	if len(res.InMIS) != 1 {
+		t.Errorf("complete graph MIS size = %d, want 1", len(res.InMIS))
+	}
+}
+
+func TestMISBothVariantsOnGrid(t *testing.T) {
+	// 8×8 grid graph.
+	side := 8
+	idx := func(r, c int) int { return r*side + c }
+	adj := map[int][]int{}
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			v := idx(r, c)
+			if r > 0 {
+				adj[v] = append(adj[v], idx(r-1, c))
+			}
+			if r < side-1 {
+				adj[v] = append(adj[v], idx(r+1, c))
+			}
+			if c > 0 {
+				adj[v] = append(adj[v], idx(r, c-1))
+			}
+			if c < side-1 {
+				adj[v] = append(adj[v], idx(r, c+1))
+			}
+		}
+	}
+	nodes := seq(side * side)
+	for _, fast := range []bool{true, false} {
+		opt := defaultOpts()
+		opt.Fast = fast
+		res := Compute(nodes, idPlus1, adj, perfectExchange(nodes, adj), opt)
+		verifyMIS(t, nodes, adj, res.InMIS)
+	}
+}
+
+func TestSweepCapRespected(t *testing.T) {
+	// With a tiny cap the sweep must stop early (possibly non-maximal).
+	n := 50
+	adj := map[int][]int{}
+	for i := 0; i < n-1; i++ {
+		adj[i] = append(adj[i], i+1)
+		adj[i+1] = append(adj[i+1], i)
+	}
+	nodes := seq(n)
+	opt := Options{IDBound: 1 << 16, Fast: false, MaxSweepRounds: 3}
+	res := Compute(nodes, idPlus1, adj, perfectExchange(nodes, adj), opt)
+	if res.LocalRounds > 3 {
+		t.Errorf("cap ignored: %d rounds", res.LocalRounds)
+	}
+}
+
+func TestColoringProperAfterReduction(t *testing.T) {
+	// Directly exercise reduceColors: colours of neighbours must differ.
+	n := 64
+	adj := map[int][]int{}
+	for i := 0; i < n-1; i++ {
+		adj[i] = append(adj[i], i+1)
+		adj[i+1] = append(adj[i+1], i)
+	}
+	nodes := seq(n)
+	color := map[int]int{}
+	for _, v := range nodes {
+		color[v] = v + 1
+	}
+	reduceColors(nodes, adj, color, perfectExchange(nodes, adj), defaultOpts())
+	for v, ns := range adj {
+		for _, u := range ns {
+			if color[v] == color[u] {
+				t.Fatalf("neighbours %d,%d share colour %d", v, u, color[v])
+			}
+		}
+	}
+	// Colour space must have shrunk dramatically from 2^16.
+	maxC := 0
+	for _, c := range color {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC > 2048 {
+		t.Errorf("colours not reduced: max %d", maxC)
+	}
+}

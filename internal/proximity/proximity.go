@@ -1,0 +1,234 @@
+// Package proximity implements Algorithm 1 (ProximityGraphConstruction) and
+// the Close Neighbors Schedule of Lemma 7: given a (clustered) set of nodes
+// and a witnessed (cluster-aware) strong selector, it builds a constant-
+// degree graph containing every close pair as an edge, together with a
+// replayable O(log N)-round schedule on which every graph edge exchanges
+// messages.
+package proximity
+
+import (
+	"fmt"
+	"sort"
+
+	"dcluster/internal/config"
+	"dcluster/internal/selectors"
+	"dcluster/internal/sim"
+)
+
+// Graph is the result of one proximity-graph construction.
+type Graph struct {
+	// Active are the participating node indices.
+	Active []int
+	// Adj maps each active node to its neighbours (Ev in Alg. 1). For close
+	// pairs the edge is guaranteed; the degree is at most κ.
+	Adj map[int][]int
+	// Sched replays the exchange schedule: any subset of the construction's
+	// active set can re-send on it, and every delivery recorded during the
+	// exchange phase between surviving nodes re-occurs (reception
+	// monotonicity under fewer transmitters, β > 1).
+	Sched *Schedule
+}
+
+// Schedule is a replayable exchange schedule: the selector plus a snapshot
+// of the active set and cluster assignment at construction time.
+type Schedule struct {
+	sel     selectors.PairSelector
+	ids     []int         // env.IDs at construction (shared slice, read-only)
+	cluster map[int]int32 // snapshot: active node -> cluster at construction
+}
+
+// Len returns the number of rounds of one replay pass.
+func (s *Schedule) Len() int { return s.sel.Len() }
+
+// Member reports whether node was active at construction time.
+func (s *Schedule) Member(node int) bool {
+	_, ok := s.cluster[node]
+	return ok
+}
+
+// Run replays the schedule with the given senders (must be a subset of the
+// construction-time active set; others are silently skipped, preserving the
+// subset property that reception guarantees rely on). Every sender
+// transmits msgOf(node) in its scheduled rounds.
+func (s *Schedule) Run(env *sim.Env, senders []int, msgOf func(node int) sim.Msg, listeners []int) []sim.Delivery {
+	var all []sim.Delivery
+	txs := make([]int, 0, len(senders))
+	for i := 0; i < s.sel.Len(); i++ {
+		txs = txs[:0]
+		for _, v := range senders {
+			c, ok := s.cluster[v]
+			if !ok {
+				continue
+			}
+			if s.sel.ContainsPair(i, s.ids[v], int(c)) {
+				txs = append(txs, v)
+			}
+		}
+		all = append(all, env.Step(txs, msgOf, listeners)...)
+	}
+	return all
+}
+
+// reception records one exchange-phase delivery at a node.
+type reception struct {
+	sender int
+	round  int
+}
+
+// Construct runs Algorithm 1 on the active set. clusterOf gives each active
+// node's cluster ID (use a constant function for unclustered sets, paired
+// with a lifted wss). clustered controls the "ignore other clusters"
+// filtering rule. The round cost is (κ+1)·|S|.
+func Construct(
+	env *sim.Env,
+	cfg config.Config,
+	sched selectors.PairSelector,
+	active []int,
+	clusterOf func(node int) int32,
+	clustered bool,
+) (*Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if clusterOf == nil {
+		return nil, fmt.Errorf("proximity: clusterOf must not be nil")
+	}
+	snapshot := make(map[int]int32, len(active))
+	for _, v := range active {
+		snapshot[v] = clusterOf(v)
+	}
+	s := &Schedule{sel: sched, ids: env.IDs, cluster: snapshot}
+
+	// Exchange phase: one full pass, everyone scheduled transmits ID+cluster;
+	// the per-delivery round index is recorded for the filtering rule.
+	hello := func(v int) sim.Msg {
+		return sim.Msg{Kind: sim.KindHello, From: int32(env.IDs[v]), Cluster: snapshot[v]}
+	}
+	recvs := exchangeWithRounds(env, s, active, hello)
+
+	// Filtering phase (local computation, no rounds).
+	candidates := make(map[int][]int, len(active))
+	for _, u := range active {
+		rs := recvs[u]
+		inU := map[int]bool{}
+		for _, r := range rs {
+			if clustered && snapshot[r.sender] != snapshot[u] {
+				continue // ignore other clusters (Alg. 1 remark)
+			}
+			inU[r.sender] = true
+		}
+		removed := map[int]bool{}
+		for _, r := range rs {
+			if !inU[r.sender] {
+				continue
+			}
+			for w := range inU {
+				if w == r.sender || removed[w] {
+					continue
+				}
+				// w was transmitting in the round u heard r.sender ⇒ (u,w)
+				// is not a close pair (lookup in the schedule, line 7).
+				if s.sel.ContainsPair(r.round, env.IDs[w], int(snapshot[w])) {
+					removed[w] = true
+				}
+			}
+		}
+		var cand []int
+		for w := range inU {
+			if !removed[w] {
+				cand = append(cand, w)
+			}
+		}
+		if len(cand) > cfg.Kappa {
+			cand = nil // |Cv| > κ ⇒ purge (line 9–10)
+		}
+		sort.Slice(cand, func(i, j int) bool { return env.IDs[cand[i]] < env.IDs[cand[j]] })
+		candidates[u] = cand
+	}
+
+	// Confirmation phase: κ repetitions of S; in repetition j a node
+	// announces its j-th candidate.
+	confirmed := make(map[int]map[int]bool, len(active))
+	for j := 0; j < cfg.Kappa; j++ {
+		msg := func(v int) sim.Msg {
+			c := candidates[v]
+			if j >= len(c) {
+				return sim.Msg{Kind: sim.KindNone, From: int32(env.IDs[v])}
+			}
+			return sim.Msg{
+				Kind:    sim.KindConfirm,
+				From:    int32(env.IDs[v]),
+				Cluster: snapshot[v],
+				A:       int32(env.IDs[c[j]]),
+			}
+		}
+		senders := make([]int, 0, len(active))
+		for _, v := range active {
+			if j < len(candidates[v]) {
+				senders = append(senders, v)
+			}
+		}
+		ds := s.Run(env, senders, msg, active)
+		for _, d := range ds {
+			if d.Msg.Kind != sim.KindConfirm {
+				continue
+			}
+			u := d.Receiver
+			if int(d.Msg.A) != env.IDs[u] {
+				continue // confirmation addressed to someone else
+			}
+			w := d.Sender
+			if containsNode(candidates[u], w) {
+				if confirmed[u] == nil {
+					confirmed[u] = make(map[int]bool, cfg.Kappa)
+				}
+				confirmed[u][w] = true // w ∈ Cu and v ∈ Cw evidenced
+			}
+		}
+	}
+
+	adj := make(map[int][]int, len(active))
+	for _, u := range active {
+		var es []int
+		for w := range confirmed[u] {
+			es = append(es, w)
+		}
+		sort.Slice(es, func(i, j int) bool { return env.IDs[es[i]] < env.IDs[es[j]] })
+		adj[u] = es
+	}
+	return &Graph{Active: active, Adj: adj, Sched: s}, nil
+}
+
+// exchangeWithRounds runs one schedule pass recording the round index of
+// every delivery (needed by the filtering rule).
+func exchangeWithRounds(env *sim.Env, s *Schedule, active []int, msgOf func(int) sim.Msg) map[int][]reception {
+	recvs := make(map[int][]reception, len(active))
+	txs := make([]int, 0, len(active))
+	for i := 0; i < s.sel.Len(); i++ {
+		txs = txs[:0]
+		for _, v := range active {
+			if s.sel.ContainsPair(i, s.ids[v], int(s.cluster[v])) {
+				txs = append(txs, v)
+			}
+		}
+		for _, d := range env.Step(txs, msgOf, active) {
+			recvs[d.Receiver] = append(recvs[d.Receiver], reception{sender: d.Sender, round: i})
+		}
+	}
+	return recvs
+}
+
+func containsNode(list []int, v int) bool {
+	for _, x := range list {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Rounds returns the total round cost of one construction with the given
+// schedule length and κ: one exchange pass plus κ confirmation passes.
+func Rounds(schedLen, kappa int) int64 {
+	return int64(schedLen) * int64(kappa+1)
+}

@@ -1,0 +1,49 @@
+// Package selectors implements the combinatorial transmission structures of
+// §3.1: strongly selective families (ssf), witnessed strong selectors (wss,
+// Lemma 2) and witnessed cluster-aware strong selectors (wcss, Lemma 3),
+// plus verifiers used in tests.
+//
+// The paper proves existence of wss/wcss by the probabilistic method; we
+// realise them as fixed-seed pseudo-random families (the standard
+// "derandomize by publishing the seed" reading — the resulting object is a
+// deterministic artifact shared by all nodes, exactly like a table of the
+// family would be). An explicit number-theoretic ssf based on residues
+// modulo primes is also provided.
+package selectors
+
+// splitmix64 is the SplitMix64 finaliser; a fast, high-quality 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hash3 mixes a seed, a round index and a value into a uniform-ish uint64.
+func hash3(seed uint64, round, value int, salt uint64) uint64 {
+	h := splitmix64(seed ^ salt)
+	h = splitmix64(h ^ uint64(round)*0x9e3779b97f4a7c15)
+	h = splitmix64(h ^ uint64(value)*0xc2b2ae3d27d4eb4f)
+	return h
+}
+
+// pick reports a Bernoulli(1/denom) trial keyed by (seed, round, value, salt).
+func pick(seed uint64, round, value int, salt uint64, denom int) bool {
+	if denom <= 1 {
+		return true
+	}
+	// Threshold comparison avoids modulo bias well enough for our purposes.
+	return hash3(seed, round, value, salt) < (^uint64(0))/uint64(denom)
+}
+
+// log2ceil returns ⌈log₂(max(2,x))⌉, the bit length used in size formulas.
+func log2ceil(x int) int {
+	if x < 2 {
+		x = 2
+	}
+	b := 0
+	for v := x - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,247 @@
+package selectors
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSSFValidation(t *testing.T) {
+	if _, err := NewSSF(0, 1, 1, 1); err == nil {
+		t.Error("n=0 must error")
+	}
+	if _, err := NewSSF(10, 0, 1, 1); err == nil {
+		t.Error("k=0 must error")
+	}
+	s, err := NewSSF(10, 20, 1, 1) // k capped at n
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.K() != 10 {
+		t.Errorf("k not capped: %d", s.K())
+	}
+}
+
+func TestSSFDeterministic(t *testing.T) {
+	a, _ := NewSSF(100, 4, 1, 42)
+	b, _ := NewSSF(100, 4, 1, 42)
+	for i := 0; i < a.Len(); i += 7 {
+		for id := 1; id <= 100; id += 13 {
+			if a.Contains(i, id) != b.Contains(i, id) {
+				t.Fatal("same seed must give identical families")
+			}
+		}
+	}
+	c, _ := NewSSF(100, 4, 1, 43)
+	diff := 0
+	for i := 0; i < a.Len(); i++ {
+		for id := 1; id <= 100; id += 9 {
+			if a.Contains(i, id) != c.Contains(i, id) {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds should give different families")
+	}
+}
+
+func TestSSFSelectionProperty(t *testing.T) {
+	s, _ := NewSSF(64, 4, 2, 7)
+	if fails := VerifySSF(s, 64, 4, 300, 1); fails != 0 {
+		t.Errorf("ssf property failed %d times", fails)
+	}
+}
+
+func TestSSFDensityRoughlyOneOverK(t *testing.T) {
+	s, _ := NewSSF(1000, 10, 1, 5)
+	count, total := 0, 0
+	for i := 0; i < 50; i++ {
+		for id := 1; id <= 1000; id++ {
+			total++
+			if s.Contains(i, id) {
+				count++
+			}
+		}
+	}
+	frac := float64(count) / float64(total)
+	if frac < 0.05 || frac > 0.2 {
+		t.Errorf("inclusion fraction %v, want ≈ 0.1", frac)
+	}
+}
+
+func TestPrimeSSFSelectionProperty(t *testing.T) {
+	s, err := NewPrimeSSF(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := VerifySSF(s, 64, 4, 300, 2); fails != 0 {
+		t.Errorf("prime ssf property failed %d times", fails)
+	}
+}
+
+func TestPrimeSSFExhaustiveTiny(t *testing.T) {
+	// Exhaustive check: n=8, k=2 — every pair, every member.
+	s, err := NewPrimeSSF(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 1; a <= 8; a++ {
+		for b := a + 1; b <= 8; b++ {
+			X := []int{a, b}
+			for _, x := range X {
+				if !selectedBy(s, X, x) {
+					t.Errorf("prime ssf fails to select %d from %v", x, X)
+				}
+			}
+		}
+	}
+}
+
+func TestPrimeSSFOutOfRangeRounds(t *testing.T) {
+	s, _ := NewPrimeSSF(16, 2)
+	if s.Contains(-1, 3) || s.Contains(s.Len(), 3) {
+		t.Error("out-of-range rounds must be empty sets")
+	}
+}
+
+func TestPrimeSSFResidueStructure(t *testing.T) {
+	// Within one prime block, each ID appears in exactly one set.
+	s, _ := NewPrimeSSF(32, 3)
+	p := s.primes[0]
+	for id := 1; id <= 32; id++ {
+		hits := 0
+		for r := 0; r < p; r++ {
+			if s.Contains(r, id) {
+				hits++
+			}
+		}
+		if hits != 1 {
+			t.Fatalf("id %d hits %d sets in first prime block (p=%d)", id, hits, p)
+		}
+	}
+}
+
+func TestWSSWitnessedProperty(t *testing.T) {
+	w, err := NewWSS(48, 3, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := VerifyWSS(w, 48, 3, 200, 3); fails != 0 {
+		t.Errorf("wss property failed %d times", fails)
+	}
+}
+
+func TestWSSIsAlsoSSF(t *testing.T) {
+	// Any wss is an ssf by definition; spot-check.
+	w, _ := NewWSS(48, 3, 2, 11)
+	if fails := VerifySSF(w, 48, 3, 200, 4); fails != 0 {
+		t.Errorf("wss-as-ssf failed %d times", fails)
+	}
+}
+
+func TestWCSSProperty(t *testing.T) {
+	w, err := NewWCSS(32, 3, 3, 1.5, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := VerifyWCSS(w, 32, 3, 3, 100, 5); fails != 0 {
+		t.Errorf("wcss property failed %d times", fails)
+	}
+}
+
+func TestWCSSValidation(t *testing.T) {
+	if _, err := NewWCSS(0, 1, 1, 1, 1); err == nil {
+		t.Error("n=0 must error")
+	}
+	if _, err := NewWCSS(10, 0, 1, 1, 1); err == nil {
+		t.Error("k=0 must error")
+	}
+	if _, err := NewWCSS(10, 1, 0, 1, 1); err == nil {
+		t.Error("l=0 must error")
+	}
+}
+
+func TestWCSSClusterFreedom(t *testing.T) {
+	// A round that allows cluster c has ContainsPair possible for c;
+	// a disallowed round excludes every member of c.
+	w, _ := NewWCSS(64, 4, 4, 1, 17)
+	for i := 0; i < 100; i++ {
+		for c := 1; c <= 10; c++ {
+			if !w.ClusterAllowed(i, c) {
+				for id := 1; id <= 64; id += 5 {
+					if w.ContainsPair(i, id, c) {
+						t.Fatalf("round %d: cluster %d disallowed but (%d,%d) included", i, c, id, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLiftIgnoresCluster(t *testing.T) {
+	s, _ := NewSSF(32, 3, 1, 19)
+	p := Lift(s)
+	if p.Len() != s.Len() {
+		t.Fatal("lift must preserve length")
+	}
+	f := func(round uint8, id uint8, c1, c2 int) bool {
+		r := int(round) % s.Len()
+		i := 1 + int(id)%32
+		return p.ContainsPair(r, i, c1) == p.ContainsPair(r, i, c2) &&
+			p.ContainsPair(r, i, c1) == s.Contains(r, i)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLengthFormulas(t *testing.T) {
+	s, _ := NewSSF(256, 4, 1, 1)
+	if s.Len() != 4*4*8 {
+		t.Errorf("ssf len = %d, want %d", s.Len(), 4*4*8)
+	}
+	w, _ := NewWSS(256, 4, 1, 1)
+	if w.Len() != 4*4*4*8 {
+		t.Errorf("wss len = %d, want %d", w.Len(), 4*4*4*8)
+	}
+	wc, _ := NewWCSS(256, 4, 2, 1, 1)
+	if wc.Len() != (4+2)*2*4*4*8 {
+		t.Errorf("wcss len = %d, want %d", wc.Len(), (4+2)*2*4*4*8)
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	tests := []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {256, 8}, {257, 9},
+	}
+	for _, tt := range tests {
+		if got := log2ceil(tt.in); got != tt.want {
+			t.Errorf("log2ceil(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestPrimesIn(t *testing.T) {
+	got := primesIn(10, 30)
+	want := []int{11, 13, 17, 19, 23, 29}
+	if len(got) != len(want) {
+		t.Fatalf("primesIn(10,30) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("primesIn(10,30) = %v", got)
+		}
+	}
+}
+
+func TestBrokenSelectorDetected(t *testing.T) {
+	// Failure injection: an always-empty selector must fail verification.
+	if fails := VerifySSF(emptySelector{}, 16, 2, 50, 9); fails == 0 {
+		t.Error("verifier failed to flag a broken selector")
+	}
+}
+
+type emptySelector struct{}
+
+func (emptySelector) Len() int               { return 10 }
+func (emptySelector) Contains(_, _ int) bool { return false }

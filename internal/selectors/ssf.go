@@ -1,0 +1,153 @@
+package selectors
+
+import "fmt"
+
+// Selector is a transmission schedule over the unclustered ID space [1..N]:
+// a sequence of sets S_1..S_m, where Contains(i, id) reports id ∈ S_{i+1}.
+type Selector interface {
+	Len() int
+	Contains(round, id int) bool
+}
+
+// SSF is an (N, k)-strongly-selective family realised as a fixed-seed random
+// family: each set contains each ID independently with probability 1/k.
+// A random family of length Θ(k² log N) is an (N,k)-ssf with high
+// probability [6]; VerifySSF checks the property for small parameters.
+type SSF struct {
+	n, k, m int
+	seed    uint64
+}
+
+const saltSSF = 0x5353465f73616c74 // "SSF_salt"
+
+// NewSSF builds an (n, k)-ssf of length ⌈factor · k² · log₂n⌉ with the given
+// seed. factor tunes the constant; 1 suffices empirically, larger values
+// lower the failure probability of the sampled family.
+func NewSSF(n, k int, factor float64, seed uint64) (*SSF, error) {
+	if n < 1 || k < 1 {
+		return nil, fmt.Errorf("selectors: invalid ssf parameters n=%d k=%d", n, k)
+	}
+	if k > n {
+		k = n
+	}
+	if factor <= 0 {
+		factor = 1
+	}
+	m := int(factor * float64(k*k*log2ceil(n)))
+	if m < k {
+		m = k
+	}
+	return &SSF{n: n, k: k, m: m, seed: seed}, nil
+}
+
+// Len returns the schedule length m.
+func (s *SSF) Len() int { return s.m }
+
+// K returns the selectivity parameter.
+func (s *SSF) K() int { return s.k }
+
+// Contains reports whether id belongs to set i (0-based round index).
+func (s *SSF) Contains(round, id int) bool {
+	return pick(s.seed, round, id, saltSSF, s.k)
+}
+
+// PrimeSSF is the explicit deterministic (N, k)-ssf built from residue
+// classes modulo primes: for every prime p in [K, 2K] and residue r ∈ [0,p),
+// the family contains the set {x ∈ [N] : x ≡ r (mod p)}. Two distinct IDs
+// collide modulo at most log_K N primes, so with K = c·k·log N there is a
+// prime separating any x from any k others; its residue class selects x.
+// The family size is O(K²/log K) = O(k² log² N / log(k log N)).
+type PrimeSSF struct {
+	primes []int
+	starts []int // starts[i] = index of the first set of primes[i]
+	m      int
+}
+
+// NewPrimeSSF builds the explicit prime-residue (n, k)-ssf.
+func NewPrimeSSF(n, k int) (*PrimeSSF, error) {
+	if n < 1 || k < 1 {
+		return nil, fmt.Errorf("selectors: invalid prime-ssf parameters n=%d k=%d", n, k)
+	}
+	if k > n {
+		k = n
+	}
+	// Need: #primes in [K,2K] > k · log_K(n), i.e. more primes than any
+	// single (x, X) pair can have "bad" (colliding) primes.
+	K := 2
+	for {
+		primes := primesIn(K, 2*K)
+		bad := k * logBase(n, K)
+		if len(primes) > bad {
+			starts := make([]int, len(primes)+1)
+			for i, p := range primes {
+				starts[i+1] = starts[i] + p
+			}
+			return &PrimeSSF{primes: primes, starts: starts, m: starts[len(primes)]}, nil
+		}
+		K++
+	}
+}
+
+// Len returns the family size.
+func (s *PrimeSSF) Len() int { return s.m }
+
+// Contains reports whether id is in set i: locating (prime, residue) from i.
+func (s *PrimeSSF) Contains(round, id int) bool {
+	if round < 0 || round >= s.m {
+		return false
+	}
+	// Binary search for the prime block containing round.
+	lo, hi := 0, len(s.primes)
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if s.starts[mid] <= round {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	p := s.primes[lo]
+	r := round - s.starts[lo]
+	return id%p == r
+}
+
+// primesIn returns the primes in [lo, hi] by trial division (tiny ranges).
+func primesIn(lo, hi int) []int {
+	var out []int
+	for x := max(2, lo); x <= hi; x++ {
+		isPrime := true
+		for d := 2; d*d <= x; d++ {
+			if x%d == 0 {
+				isPrime = false
+				break
+			}
+		}
+		if isPrime {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// logBase returns ⌈log_base(n)⌉ for base ≥ 2.
+func logBase(n, base int) int {
+	if base < 2 {
+		base = 2
+	}
+	c, v := 0, 1
+	for v < n {
+		v *= base
+		c++
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

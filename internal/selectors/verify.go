@@ -1,0 +1,176 @@
+package selectors
+
+import "math/rand"
+
+// Verification helpers. Exhaustive verification of selection properties is
+// exponential in k; these helpers combine exhaustive checks for tiny
+// parameters with randomized spot checks for larger ones. They are used by
+// tests and by the calibration tooling, never on the protocol hot path.
+
+// VerifySSF checks the (n,k)-strong-selectivity property on `trials` random
+// subsets X of size ≤ k (every x ∈ X selected by some set). Returns the
+// number of failing (X, x) pairs found.
+func VerifySSF(s Selector, n, k, trials int, seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	fails := 0
+	for t := 0; t < trials; t++ {
+		X := randomSubset(rng, n, 1+rng.Intn(k))
+		for _, x := range X {
+			if !selectedBy(s, X, x) {
+				fails++
+			}
+		}
+	}
+	return fails
+}
+
+// selectedBy reports whether some set of s selects x from X.
+func selectedBy(s Selector, X []int, x int) bool {
+	for i := 0; i < s.Len(); i++ {
+		if !s.Contains(i, x) {
+			continue
+		}
+		alone := true
+		for _, y := range X {
+			if y != x && s.Contains(i, y) {
+				alone = false
+				break
+			}
+		}
+		if alone {
+			return true
+		}
+	}
+	return false
+}
+
+// VerifyWSS checks the witnessed strong selection property on random
+// (X, x, y) tuples: some set S_i has S_i ∩ X = {x} and y ∈ S_i.
+// Returns the number of failing tuples.
+func VerifyWSS(w *WSS, n, k, trials int, seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	fails := 0
+	for t := 0; t < trials; t++ {
+		X := randomSubset(rng, n, k)
+		x := X[rng.Intn(len(X))]
+		y := randomOutside(rng, n, X)
+		if y == 0 {
+			continue
+		}
+		if !witnessedSelection(w, X, x, y) {
+			fails++
+		}
+	}
+	return fails
+}
+
+func witnessedSelection(w *WSS, X []int, x, y int) bool {
+	for i := 0; i < w.Len(); i++ {
+		if !w.Contains(i, x) || !w.Contains(i, y) {
+			continue
+		}
+		alone := true
+		for _, z := range X {
+			if z != x && w.Contains(i, z) {
+				alone = false
+				break
+			}
+		}
+		if alone {
+			return true
+		}
+	}
+	return false
+}
+
+// VerifyWCSS checks the cluster-aware witnessed property on random tuples
+// (X ⊆ [n]×{φ}, conflict set C of l clusters, x ∈ X, y ∉ X): some S_i has
+// S_i ∩ X = {x}, y ∈ S_i, and no cluster of C allowed in round i.
+// Returns the number of failing tuples.
+func VerifyWCSS(w *WCSS, n, k, l, trials int, seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	fails := 0
+	for t := 0; t < trials; t++ {
+		phi := 1 + rng.Intn(n)
+		C := make([]int, 0, l)
+		for len(C) < l {
+			c := 1 + rng.Intn(n)
+			if c != phi {
+				C = append(C, c)
+			}
+		}
+		X := randomSubset(rng, n, k)
+		x := X[rng.Intn(len(X))]
+		y := randomOutside(rng, n, X)
+		if y == 0 {
+			continue
+		}
+		if !wcssSelection(w, X, phi, C, x, y) {
+			fails++
+		}
+	}
+	return fails
+}
+
+func wcssSelection(w *WCSS, X []int, phi int, C []int, x, y int) bool {
+	for i := 0; i < w.Len(); i++ {
+		if !w.ContainsPair(i, x, phi) || !w.ContainsPair(i, y, phi) {
+			continue
+		}
+		free := true
+		for _, c := range C {
+			if w.ClusterAllowed(i, c) {
+				free = false
+				break
+			}
+		}
+		if !free {
+			continue
+		}
+		alone := true
+		for _, z := range X {
+			if z != x && w.ContainsPair(i, z, phi) {
+				alone = false
+				break
+			}
+		}
+		if alone {
+			return true
+		}
+	}
+	return false
+}
+
+// randomSubset draws k distinct values from [1..n].
+func randomSubset(rng *rand.Rand, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		v := 1 + rng.Intn(n)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// randomOutside draws a value of [1..n] not in X, or 0 if X covers [1..n].
+func randomOutside(rng *rand.Rand, n int, X []int) int {
+	inX := make(map[int]bool, len(X))
+	for _, x := range X {
+		inX[x] = true
+	}
+	if len(inX) >= n {
+		return 0
+	}
+	for {
+		v := 1 + rng.Intn(n)
+		if !inX[v] {
+			return v
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package selectors
+
+import "fmt"
+
+// WSS is an (N, k)-witnessed strong selector (Lemma 2): for every X ⊆ [N]
+// with |X| = k, every x ∈ X and every y ∉ X there is a set S_i with
+// S_i ∩ X = {x} and y ∈ S_i (y "witnesses" the selection).
+//
+// Realised as a fixed-seed random family with inclusion probability 1/k and
+// length Θ(k³ log N), matching the probabilistic existence bound.
+type WSS struct {
+	n, k, m int
+	seed    uint64
+}
+
+const saltWSS = 0x5753535f73616c74 // "WSS_salt"
+
+// NewWSS builds an (n, k)-wss of length ⌈factor · k³ · log₂n⌉.
+func NewWSS(n, k int, factor float64, seed uint64) (*WSS, error) {
+	if n < 1 || k < 1 {
+		return nil, fmt.Errorf("selectors: invalid wss parameters n=%d k=%d", n, k)
+	}
+	if k > n {
+		k = n
+	}
+	if factor <= 0 {
+		factor = 1
+	}
+	m := int(factor * float64(k*k*k*log2ceil(n)))
+	if m < k {
+		m = k
+	}
+	return &WSS{n: n, k: k, m: m, seed: seed}, nil
+}
+
+// Len returns the schedule length.
+func (w *WSS) Len() int { return w.m }
+
+// K returns the selectivity parameter.
+func (w *WSS) K() int { return w.k }
+
+// Contains reports whether id belongs to set i.
+func (w *WSS) Contains(round, id int) bool {
+	return pick(w.seed, round, id, saltWSS, w.k)
+}
+
+// PairSelector is a transmission schedule over the clustered space
+// [N]×[N]: ContainsPair(i, id, cluster) reports (id, cluster) ∈ S_{i+1}.
+// Plain selectors lift to PairSelector by ignoring the cluster (see Lift).
+type PairSelector interface {
+	Len() int
+	ContainsPair(round, id, cluster int) bool
+}
+
+// Lift adapts an unclustered Selector to the PairSelector interface.
+func Lift(s Selector) PairSelector { return lifted{s} }
+
+type lifted struct{ s Selector }
+
+func (l lifted) Len() int { return l.s.Len() }
+func (l lifted) ContainsPair(round, id, _ int) bool {
+	return l.s.Contains(round, id)
+}

@@ -1,0 +1,49 @@
+package sim
+
+// Energy accounting. The paper motivates determinism partly by energy
+// budgets ("devices run on batteries"); the simulator therefore tracks
+// per-node transmission counts, the dominant energy cost in low-power
+// radios.
+
+// EnergyProfile summarises per-node transmission counts.
+type EnergyProfile struct {
+	// Max is the largest number of transmissions by any single node.
+	Max int64
+	// Total is the sum over all nodes (= Stats.Transmissions).
+	Total int64
+	// Nonzero is the number of nodes that transmitted at all.
+	Nonzero int
+}
+
+// TxCount returns the number of rounds in which the node transmitted.
+func (e *Env) TxCount(node int) int64 {
+	if e.txCount == nil || node < 0 || node >= len(e.txCount) {
+		return 0
+	}
+	return e.txCount[node]
+}
+
+// Energy returns the transmission-energy profile of the execution so far.
+func (e *Env) Energy() EnergyProfile {
+	var p EnergyProfile
+	for _, c := range e.txCount {
+		if c > 0 {
+			p.Nonzero++
+			p.Total += c
+			if c > p.Max {
+				p.Max = c
+			}
+		}
+	}
+	return p
+}
+
+// recordTx tallies one round's transmitters.
+func (e *Env) recordTx(txs []int) {
+	if e.txCount == nil {
+		e.txCount = make([]int64, e.F.N())
+	}
+	for _, v := range txs {
+		e.txCount[v]++
+	}
+}

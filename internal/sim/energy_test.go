@@ -1,0 +1,46 @@
+package sim
+
+import "testing"
+
+func TestEnergyAccounting(t *testing.T) {
+	e := testEnv(t, 0, 0, 0.5, 0, 1, 0)
+	msg := func(int) Msg { return Msg{Kind: KindHello} }
+	e.Step([]int{0}, msg, nil)
+	e.Step([]int{0, 1}, msg, nil)
+	e.Step(nil, nil, nil)
+
+	if got := e.TxCount(0); got != 2 {
+		t.Errorf("TxCount(0) = %d, want 2", got)
+	}
+	if got := e.TxCount(1); got != 1 {
+		t.Errorf("TxCount(1) = %d, want 1", got)
+	}
+	if got := e.TxCount(2); got != 0 {
+		t.Errorf("TxCount(2) = %d, want 0", got)
+	}
+	p := e.Energy()
+	if p.Max != 2 || p.Total != 3 || p.Nonzero != 2 {
+		t.Errorf("Energy = %+v", p)
+	}
+}
+
+func TestEnergyEmptyEnv(t *testing.T) {
+	e := testEnv(t, 0, 0)
+	if p := e.Energy(); p != (EnergyProfile{}) {
+		t.Errorf("fresh env energy = %+v", p)
+	}
+	if e.TxCount(-1) != 0 || e.TxCount(99) != 0 {
+		t.Error("out-of-range TxCount must be 0")
+	}
+}
+
+func TestEnergyTotalMatchesStats(t *testing.T) {
+	e := testEnv(t, 0, 0, 0.5, 0)
+	msg := func(int) Msg { return Msg{Kind: KindHello} }
+	for i := 0; i < 5; i++ {
+		e.Step([]int{i % 2}, msg, nil)
+	}
+	if e.Energy().Total != e.Stats().Transmissions {
+		t.Errorf("energy total %d != stats transmissions %d", e.Energy().Total, e.Stats().Transmissions)
+	}
+}

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"fmt"
+
+	"dcluster/internal/sinr"
+)
+
+// Env is the shared execution environment of one simulation: the physical
+// field, the protocol ID assignment, the global round counter and statistics.
+// Algorithms are handed an *Env and advance time only via Step.
+//
+// Nodes are indexed 0..n−1 by the simulator; each has a unique protocol ID
+// in [1..N]. Algorithms must key their decisions on IDs (and received
+// messages), not on indices — indices exist only for the simulator's
+// bookkeeping.
+type Env struct {
+	F   *sinr.Field
+	IDs []int // IDs[node] = protocol ID ∈ [1..N]
+	N   int   // ID-space bound known to all nodes (N = n^{O(1)})
+
+	idToNode map[int]int
+	rounds   int64
+	stats    Stats
+	marks    []Mark
+	txCount  []int64
+
+	txBuf  []int
+	recBuf []sinr.Reception
+}
+
+// Stats aggregates execution counters.
+type Stats struct {
+	Rounds        int64 // synchronous rounds elapsed
+	Transmissions int64 // node-rounds spent transmitting
+	Deliveries    int64 // successful receptions
+}
+
+// Mark is a labelled point on the round timeline, used by experiments to
+// attribute rounds to algorithm phases.
+type Mark struct {
+	Label string
+	Round int64
+}
+
+// NewEnv creates an environment. ids must be unique and within [1..idBound];
+// if ids is nil, node i gets ID i+1 and idBound defaults to n.
+func NewEnv(f *sinr.Field, ids []int, idBound int) (*Env, error) {
+	n := f.N()
+	if ids == nil {
+		ids = make([]int, n)
+		for i := range ids {
+			ids[i] = i + 1
+		}
+		if idBound < n {
+			idBound = n
+		}
+	}
+	if len(ids) != n {
+		return nil, fmt.Errorf("sim: %d ids for %d nodes", len(ids), n)
+	}
+	e := &Env{F: f, IDs: append([]int(nil), ids...), N: idBound, idToNode: make(map[int]int, n)}
+	for node, id := range ids {
+		if id < 1 || id > idBound {
+			return nil, fmt.Errorf("sim: id %d out of range [1..%d]", id, idBound)
+		}
+		if prev, dup := e.idToNode[id]; dup {
+			return nil, fmt.Errorf("sim: duplicate id %d (nodes %d and %d)", id, prev, node)
+		}
+		e.idToNode[id] = node
+	}
+	return e, nil
+}
+
+// MustEnv is NewEnv that panics on error (test/example convenience).
+func MustEnv(f *sinr.Field, ids []int, idBound int) *Env {
+	e, err := NewEnv(f, ids, idBound)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// NodeOf returns the node index with the given protocol ID, or -1.
+func (e *Env) NodeOf(id int) int {
+	if node, ok := e.idToNode[id]; ok {
+		return node
+	}
+	return -1
+}
+
+// Rounds returns the number of rounds elapsed.
+func (e *Env) Rounds() int64 { return e.rounds }
+
+// Stats returns a snapshot of the execution counters.
+func (e *Env) Stats() Stats {
+	s := e.stats
+	s.Rounds = e.rounds
+	return s
+}
+
+// Marks returns the recorded phase marks.
+func (e *Env) Marks() []Mark { return e.marks }
+
+// MarkPhase records a labelled timeline point at the current round.
+func (e *Env) MarkPhase(label string) {
+	e.marks = append(e.marks, Mark{Label: label, Round: e.rounds})
+}
+
+// Step executes one synchronous round: every node in txs transmits the
+// message msgOf(node); every other node listens. listeners restricts which
+// nodes' receptions are computed (nil = all non-transmitters); restricting
+// listeners is a pure simulator optimisation and never changes protocol
+// behaviour, because omitted nodes would only have discarded the message.
+//
+// The round counter advances even when txs is empty (silent rounds cost
+// time in the model too). The returned slice is valid until the next Step.
+func (e *Env) Step(txs []int, msgOf func(node int) Msg, listeners []int) []Delivery {
+	e.rounds++
+	e.stats.Transmissions += int64(len(txs))
+	if len(txs) == 0 {
+		return nil
+	}
+	e.recordTx(txs)
+	e.recBuf = e.F.Deliver(txs, listeners, e.recBuf[:0])
+	out := make([]Delivery, 0, len(e.recBuf))
+	for _, r := range e.recBuf {
+		m := msgOf(r.Sender)
+		if err := m.Validate(); err != nil {
+			panic(err) // programming error: oversized message
+		}
+		out = append(out, Delivery{Receiver: r.Receiver, Sender: r.Sender, Msg: m})
+	}
+	e.stats.Deliveries += int64(len(out))
+	return out
+}
+
+// Skip advances the clock by k silent rounds (used when a protocol's
+// schedule has provably empty rounds that still consume time).
+func (e *Env) Skip(k int64) {
+	if k > 0 {
+		e.rounds += k
+	}
+}
+
+// TxBuf returns a reusable scratch slice for building transmitter sets.
+func (e *Env) TxBuf() []int { return e.txBuf[:0] }
+
+// SetTxBuf stores the scratch slice back (callers may grow it).
+func (e *Env) SetTxBuf(b []int) { e.txBuf = b }

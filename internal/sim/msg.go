@@ -1,0 +1,64 @@
+// Package sim provides the synchronous execution environment for the
+// paper's distributed algorithms: a round clock over a sinr.Field, the
+// O(log N)-bit message type, node-ID bookkeeping, and execution statistics.
+//
+// Every algorithm in this repository advances time exclusively through
+// Env.Step, so Env.Rounds() is the measured round complexity that the
+// benchmark harness reports.
+package sim
+
+import "fmt"
+
+// Kind tags the protocol meaning of a message.
+type Kind uint8
+
+// Message kinds used across the protocol stack.
+const (
+	KindNone       Kind = iota
+	KindHello           // proximity exchange: ID + cluster
+	KindConfirm         // proximity confirmation: ⟨from, to⟩
+	KindYFlag           // sparsification: independent-set membership flag
+	KindChoose          // sparsification: child chooses parent (carries subtree size)
+	KindClusterID       // cluster ID propagation / inheritance
+	KindLabelRange      // imperfect labeling: top-down range assignment
+	KindSNS             // sparse-network-schedule local broadcast payload
+	KindBroadcast       // global broadcast payload
+	KindColor           // MIS colour-reduction state
+	KindMIS             // MIS membership announcement
+	KindHeard           // list of IDs heard (constant-density confirmation)
+	KindPayload         // application payload (examples, baselines)
+)
+
+// MaxList bounds the constant-length ID list a message may carry. The paper
+// allows O(log N)-bit messages; a constant number of IDs (used only at
+// constant density, e.g. RadiusReduction's exchange confirmation) stays
+// within that budget.
+const MaxList = 16
+
+// Msg is a protocol message. All fields are fixed-width integers; together
+// with the bounded List this is O(log N) bits as the model requires.
+type Msg struct {
+	Kind    Kind
+	From    int32 // sender's protocol ID
+	Cluster int32 // sender's cluster ID, or NoCluster
+	A, B, C int32 // small scalar payload (semantics per Kind)
+	List    []int32
+}
+
+// NoCluster marks an unset cluster field.
+const NoCluster int32 = -1
+
+// Validate checks the constant-size constraint.
+func (m Msg) Validate() error {
+	if len(m.List) > MaxList {
+		return fmt.Errorf("sim: message list length %d exceeds MaxList %d", len(m.List), MaxList)
+	}
+	return nil
+}
+
+// Delivery is a successful reception of a message in some round.
+type Delivery struct {
+	Receiver int // node index of the receiver
+	Sender   int // node index of the sender
+	Msg      Msg
+}

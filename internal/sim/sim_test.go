@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"dcluster/internal/geom"
+	"dcluster/internal/sinr"
+)
+
+func testEnv(t *testing.T, coords ...float64) *Env {
+	t.Helper()
+	pos := make([]geom.Point, 0, len(coords)/2)
+	for i := 0; i+1 < len(coords); i += 2 {
+		pos = append(pos, geom.Pt(coords[i], coords[i+1]))
+	}
+	f, err := sinr.NewField(sinr.DefaultParams(), pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEnv(f, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewEnvDefaults(t *testing.T) {
+	e := testEnv(t, 0, 0, 1, 0, 2, 0)
+	if e.N != 3 {
+		t.Errorf("N = %d, want 3", e.N)
+	}
+	for i := 0; i < 3; i++ {
+		if e.IDs[i] != i+1 {
+			t.Errorf("IDs[%d] = %d", i, e.IDs[i])
+		}
+		if e.NodeOf(i+1) != i {
+			t.Errorf("NodeOf(%d) = %d", i+1, e.NodeOf(i+1))
+		}
+	}
+	if e.NodeOf(99) != -1 {
+		t.Error("NodeOf(unknown) must be -1")
+	}
+}
+
+func TestNewEnvValidation(t *testing.T) {
+	f, _ := sinr.NewField(sinr.DefaultParams(), []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)})
+	if _, err := NewEnv(f, []int{1}, 4); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := NewEnv(f, []int{1, 1}, 4); err == nil {
+		t.Error("duplicate ids must error")
+	}
+	if _, err := NewEnv(f, []int{0, 1}, 4); err == nil {
+		t.Error("id 0 must error")
+	}
+	if _, err := NewEnv(f, []int{1, 9}, 4); err == nil {
+		t.Error("id above bound must error")
+	}
+	if _, err := NewEnv(f, []int{2, 4}, 4); err != nil {
+		t.Errorf("valid ids rejected: %v", err)
+	}
+}
+
+func TestStepCountsRounds(t *testing.T) {
+	e := testEnv(t, 0, 0, 0.5, 0)
+	if e.Rounds() != 0 {
+		t.Fatal("fresh env must be at round 0")
+	}
+	e.Step(nil, nil, nil) // silent round still ticks
+	if e.Rounds() != 1 {
+		t.Errorf("silent round not counted: %d", e.Rounds())
+	}
+	ds := e.Step([]int{0}, func(int) Msg { return Msg{Kind: KindHello, From: 1} }, nil)
+	if e.Rounds() != 2 {
+		t.Errorf("rounds = %d", e.Rounds())
+	}
+	if len(ds) != 1 || ds[0].Receiver != 1 || ds[0].Sender != 0 || ds[0].Msg.From != 1 {
+		t.Errorf("delivery = %+v", ds)
+	}
+	st := e.Stats()
+	if st.Rounds != 2 || st.Transmissions != 1 || st.Deliveries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestStepOversizedMessagePanics(t *testing.T) {
+	e := testEnv(t, 0, 0, 0.5, 0)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("oversized message must panic")
+		} else if !strings.Contains(r.(error).Error(), "MaxList") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	big := Msg{Kind: KindHeard, List: make([]int32, MaxList+1)}
+	e.Step([]int{0}, func(int) Msg { return big }, nil)
+}
+
+func TestSkip(t *testing.T) {
+	e := testEnv(t, 0, 0)
+	e.Skip(10)
+	e.Skip(-5) // ignored
+	if e.Rounds() != 10 {
+		t.Errorf("rounds = %d, want 10", e.Rounds())
+	}
+}
+
+func TestMarks(t *testing.T) {
+	e := testEnv(t, 0, 0, 0.5, 0)
+	e.MarkPhase("start")
+	e.Step(nil, nil, nil)
+	e.MarkPhase("after-one")
+	ms := e.Marks()
+	if len(ms) != 2 || ms[0] != (Mark{Label: "start", Round: 0}) || ms[1] != (Mark{Label: "after-one", Round: 1}) {
+		t.Errorf("marks = %+v", ms)
+	}
+}
+
+func TestMsgValidate(t *testing.T) {
+	if err := (Msg{List: make([]int32, MaxList)}).Validate(); err != nil {
+		t.Errorf("MaxList-length list must validate: %v", err)
+	}
+	if err := (Msg{List: make([]int32, MaxList+1)}).Validate(); err == nil {
+		t.Error("over-length list must fail")
+	}
+}
+
+func TestStepListenersSubset(t *testing.T) {
+	e := testEnv(t, 0, 0, 0.5, 0, 0, 0.5)
+	ds := e.Step([]int{0}, func(int) Msg { return Msg{Kind: KindHello} }, []int{2})
+	if len(ds) != 1 || ds[0].Receiver != 2 {
+		t.Errorf("listener restriction failed: %+v", ds)
+	}
+}
+
+func TestDeliveriesInvalidatedByNextStep(t *testing.T) {
+	// Documented contract: the returned slice is fresh per call, but the
+	// underlying reception buffer is reused; deliveries are value copies so
+	// earlier results stay correct.
+	e := testEnv(t, 0, 0, 0.5, 0)
+	first := e.Step([]int{0}, func(int) Msg { return Msg{Kind: KindHello, A: 1} }, nil)
+	_ = e.Step([]int{1}, func(int) Msg { return Msg{Kind: KindHello, A: 2} }, nil)
+	if first[0].Msg.A != 1 {
+		t.Error("earlier deliveries must remain intact")
+	}
+}

@@ -1,0 +1,217 @@
+package sinr
+
+import (
+	"fmt"
+	"math"
+
+	"dcluster/internal/geom"
+)
+
+func pow(x, a float64) float64 { return math.Pow(x, a) }
+
+// Field is the physical medium: a fixed set of node locations with
+// precomputed pairwise received-power gains G[v][u] = P / d(v,u)^α.
+// A Field answers "who received whom" queries for arbitrary transmitter
+// sets; it performs no protocol logic.
+//
+// The gain matrix costs 8·n² bytes; fields up to a few thousand nodes fit
+// comfortably. For the lower-bound gadgets distances are supplied analytically
+// (NewFieldFromDistances) to avoid floating-point absorption of the
+// geometrically shrinking node gaps.
+type Field struct {
+	params Params
+	n      int
+	gain   [][]float64  // gain[v][u]: received power at u from transmitter v
+	pos    []geom.Point // nil for distance-matrix fields
+
+	scratch []bool // reusable transmitter bitmap for Deliver
+}
+
+// NewField builds a field from explicit positions.
+func NewField(params Params, pos []geom.Point) (*Field, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(pos)
+	f := &Field{params: params, n: n, pos: append([]geom.Point(nil), pos...)}
+	f.gain = make([][]float64, n)
+	buf := make([]float64, n*n)
+	for v := 0; v < n; v++ {
+		f.gain[v] = buf[v*n : (v+1)*n]
+		for u := 0; u < n; u++ {
+			if u == v {
+				continue
+			}
+			d := geom.Dist(pos[v], pos[u])
+			f.gain[v][u] = gainAt(params, d)
+		}
+	}
+	return f, nil
+}
+
+// NewFieldFromDistances builds a field from an explicit symmetric distance
+// matrix (used by the lower-bound gadgets where coordinates would lose
+// precision). dist[v][u] must be positive for u ≠ v.
+func NewFieldFromDistances(params Params, dist [][]float64) (*Field, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(dist)
+	f := &Field{params: params, n: n}
+	f.gain = make([][]float64, n)
+	buf := make([]float64, n*n)
+	for v := 0; v < n; v++ {
+		if len(dist[v]) != n {
+			return nil, fmt.Errorf("%w: row %d has %d entries, want %d", ErrMismatchedSize, v, len(dist[v]), n)
+		}
+		f.gain[v] = buf[v*n : (v+1)*n]
+		for u := 0; u < n; u++ {
+			if u == v {
+				continue
+			}
+			if dist[v][u] <= 0 {
+				return nil, fmt.Errorf("sinr: non-positive distance %v between %d and %d", dist[v][u], v, u)
+			}
+			f.gain[v][u] = gainAt(params, dist[v][u])
+		}
+	}
+	return f, nil
+}
+
+func gainAt(p Params, d float64) float64 {
+	return p.Power / pow(d, p.Alpha)
+}
+
+// N returns the number of nodes in the field.
+func (f *Field) N() int { return f.n }
+
+// Params returns the model parameters.
+func (f *Field) Params() Params { return f.params }
+
+// Positions returns the node positions, or nil for distance-matrix fields.
+func (f *Field) Positions() []geom.Point { return f.pos }
+
+// Gain returns the received power at u from a transmission by v.
+func (f *Field) Gain(v, u int) float64 { return f.gain[v][u] }
+
+// Distance returns the metric distance between v and u, recovered from the
+// gain for distance-matrix fields.
+func (f *Field) Distance(v, u int) float64 {
+	if v == u {
+		return 0
+	}
+	if f.pos != nil {
+		return geom.Dist(f.pos[v], f.pos[u])
+	}
+	return pow(f.params.Power/f.gain[v][u], 1/f.params.Alpha)
+}
+
+// Reception is a successful delivery in one round: Receiver decoded the
+// message transmitted by Sender.
+type Reception struct {
+	Receiver, Sender int
+}
+
+// Deliver computes all successful receptions for one synchronous round with
+// the given transmitter set. listeners selects which non-transmitting nodes
+// are checked (nil = all nodes). A transmitting node never receives
+// (half-duplex). Since β > 1, at most the strongest incoming signal can
+// clear the threshold, so exactly one check per listener is needed.
+//
+// The result slice is appended to dst (which may be nil) and returned, so
+// hot loops can reuse capacity.
+func (f *Field) Deliver(transmitters []int, listeners []int, dst []Reception) []Reception {
+	if len(transmitters) == 0 {
+		return dst
+	}
+	isTx := f.txScratch()
+	for _, v := range transmitters {
+		isTx[v] = true
+	}
+	check := func(u int) {
+		if isTx[u] {
+			return
+		}
+		var total, best float64
+		bestV := -1
+		for _, v := range transmitters {
+			g := f.gain[v][u]
+			total += g
+			if g > best {
+				best = g
+				bestV = v
+			}
+		}
+		if bestV >= 0 && best >= f.params.Beta*(f.params.Noise+total-best) {
+			dst = append(dst, Reception{Receiver: u, Sender: bestV})
+		}
+	}
+	if listeners == nil {
+		for u := 0; u < f.n; u++ {
+			check(u)
+		}
+	} else {
+		for _, u := range listeners {
+			check(u)
+		}
+	}
+	for _, v := range transmitters {
+		isTx[v] = false
+	}
+	return dst
+}
+
+// txScratch returns a reusable all-false scratch bitmap of size n.
+func (f *Field) txScratch() []bool {
+	if f.scratch == nil {
+		f.scratch = make([]bool, f.n)
+	}
+	return f.scratch
+}
+
+// SINR returns the signal-to-interference-and-noise ratio at u for sender v
+// given the full transmitter set txs (which must contain v), per Eq. (1).
+func (f *Field) SINR(v, u int, txs []int) float64 {
+	var interference float64
+	seen := false
+	for _, w := range txs {
+		if w == v {
+			seen = true
+			continue
+		}
+		interference += f.gain[w][u]
+	}
+	if !seen {
+		return 0
+	}
+	return f.gain[v][u] / (f.params.Noise + interference)
+}
+
+// Receives reports whether u receives v's message when txs transmit
+// (half-duplex: false if u ∈ txs).
+func (f *Field) Receives(v, u int, txs []int) bool {
+	for _, w := range txs {
+		if w == u {
+			return false
+		}
+	}
+	return f.SINR(v, u, txs) >= f.params.Beta
+}
+
+// CommGraph returns adjacency lists of the communication graph: edges
+// between nodes at distance ≤ (1−ε)·range.
+func (f *Field) CommGraph() [][]int {
+	rad := f.params.GraphRadius()
+	adj := make([][]int, f.n)
+	if f.pos != nil {
+		return geom.CommGraph(f.pos, rad)
+	}
+	for v := 0; v < f.n; v++ {
+		for u := 0; u < f.n; u++ {
+			if u != v && f.Distance(v, u) <= rad {
+				adj[v] = append(adj[v], u)
+			}
+		}
+	}
+	return adj
+}

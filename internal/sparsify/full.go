@@ -1,0 +1,87 @@
+package sparsify
+
+import (
+	"math"
+
+	"dcluster/internal/sim"
+)
+
+// RunU executes Algorithm 3 (SparsificationU): l = Cfg.SparsifyURounds
+// chained unclustered Sparsification calls. By Lemma 9 the density of the
+// final set drops to (3/4)·Γ. Returns the survivor chain X_1 ⊇ … ⊇ X_l.
+func RunU(env *sim.Env, st *State, active []int, call Call) ([]*Result, error) {
+	call.Clustered = false
+	call.ClusterOf = nil
+	out := make([]*Result, 0, call.Cfg.SparsifyURounds)
+	x := active
+	for i := 0; i < call.Cfg.SparsifyURounds; i++ {
+		res, err := Run(env, st, x, call)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+		x = res.Survivors
+	}
+	return out, nil
+}
+
+// FullLevels is the output of Algorithm 4: the nested survivor sets
+// A_0 ⊇ A_1 ⊇ … ⊇ A_k with per-call batch ranges; every v ∈ A_{i-1}\A_i has
+// parent(v) ∈ A_i recorded in the State, with a replayable exchange
+// schedule (property (b) of §4.2).
+type FullLevels struct {
+	Levels  [][]int   // Levels[0] = input, Levels[i] = survivors of call i
+	Calls   []*Result // per-call results (len = k)
+	GammaAt []int     // iteration budget Λ used by call i
+}
+
+// CallCount returns k = ⌈log_{4/3} Γ⌉, the number of sparsification calls.
+func CallCount(gamma int) int {
+	if gamma < 2 {
+		return 1
+	}
+	return int(math.Ceil(math.Log(float64(gamma)) / math.Log(4.0/3.0)))
+}
+
+// Full executes Algorithm 4 (FullSparsification) with the decaying
+// iteration budget Λ ← (3/4)Λ. The call's Gamma field sets Γ.
+func Full(env *sim.Env, st *State, active []int, call Call) (*FullLevels, error) {
+	k := CallCount(call.Gamma)
+	out := &FullLevels{Levels: [][]int{active}}
+	lambda := float64(call.Gamma)
+	x := active
+	for i := 0; i < k; i++ {
+		c := call
+		c.Gamma = int(math.Ceil(lambda))
+		res, err := Run(env, st, x, c)
+		if err != nil {
+			return nil, err
+		}
+		out.Levels = append(out.Levels, res.Survivors)
+		out.Calls = append(out.Calls, res)
+		out.GammaAt = append(out.GammaAt, c.Gamma)
+		x = res.Survivors
+		lambda *= 3.0 / 4.0
+		if lambda < 1 {
+			lambda = 1
+		}
+	}
+	return out, nil
+}
+
+// Final returns the deepest level A_k.
+func (f *FullLevels) Final() []int {
+	return f.Levels[len(f.Levels)-1]
+}
+
+// Roots returns the forest roots: nodes of the final level (they never
+// became children) — the tree roots used by imperfect labeling.
+func (f *FullLevels) Roots(st *State) []int {
+	var roots []int
+	for _, v := range f.Final() {
+		if st.Parent[v] == -1 {
+			roots = append(roots, v)
+		}
+	}
+	return roots
+}

@@ -1,0 +1,285 @@
+// Package sparsify implements the paper's network sparsification machinery:
+// Algorithm 2 (Sparsification), Algorithm 3 (SparsificationU) and
+// Algorithm 4 (FullSparsification), with the parent/child forest and
+// schedule bookkeeping needed by imperfect labeling (Lemma 11) and by the
+// cluster-ID propagation of the Clustering algorithm (Alg. 6).
+package sparsify
+
+import (
+	"fmt"
+	"sort"
+
+	"dcluster/internal/config"
+	"dcluster/internal/mis"
+	"dcluster/internal/proximity"
+	"dcluster/internal/selectors"
+	"dcluster/internal/sim"
+)
+
+// ChildRef is a parent's record of one child: acquired when the child's
+// choose-message (which piggybacks the child's completed subtree size) is
+// received.
+type ChildRef struct {
+	Node int
+	Size int
+}
+
+// Batch records the children removed during one sparsification iteration
+// together with that iteration's exchange schedule. Replaying the schedule
+// with any subset of its construction-time active set reproduces every
+// parent↔child exchange (reception monotonicity, β > 1).
+type Batch struct {
+	Sched    *proximity.Schedule
+	Children []int
+}
+
+// State is the cross-call forest bookkeeping. One State spans an entire
+// FullSparsification / Clustering execution.
+type State struct {
+	Parent      []int        // Parent[v] = parent node index, or -1
+	SubtreeSize []int        // completed subtree size (1 + children's sizes)
+	Children    [][]ChildRef // parent-side child records, acquisition order
+	Batches     []Batch      // removal batches in global time order
+}
+
+// NewState creates bookkeeping for n nodes.
+func NewState(n int) *State {
+	st := &State{
+		Parent:      make([]int, n),
+		SubtreeSize: make([]int, n),
+		Children:    make([][]ChildRef, n),
+	}
+	for i := range st.Parent {
+		st.Parent[i] = -1
+		st.SubtreeSize[i] = 1
+	}
+	return st
+}
+
+// Call configures one Sparsification execution (Alg. 2).
+type Call struct {
+	Cfg config.Config
+	// Sched is the transmission selector: an (N,κ,ρ)-wcss for clustered
+	// sets, a lifted (N,κ)-wss for unclustered ones.
+	Sched selectors.PairSelector
+	// ClusterOf returns each node's cluster (nil = unclustered, cluster 1).
+	ClusterOf func(node int) int32
+	// Clustered selects the clustered variant (local-minima independent
+	// sets, cross-cluster filtering); unclustered uses the simulated MIS.
+	Clustered bool
+	// Gamma is the iteration count Λ (the density bound being reduced).
+	Gamma int
+}
+
+// Result reports one call's outcome.
+type Result struct {
+	Survivors []int // Active ∪ Prnts, ascending node order
+	// BatchStart/BatchEnd delimit st.Batches entries created by this call.
+	BatchStart, BatchEnd int
+}
+
+func constOne(int) int32 { return 1 }
+
+// Run executes Algorithm 2 on the active set, mutating st.
+func Run(env *sim.Env, st *State, active []int, call Call) (*Result, error) {
+	if err := call.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if call.Gamma < 1 {
+		call.Gamma = 1
+	}
+	clusterOf := call.ClusterOf
+	if clusterOf == nil {
+		clusterOf = constOne
+	}
+	res := &Result{BatchStart: len(st.Batches)}
+
+	current := append([]int(nil), active...)
+	prnts := map[int]bool{}
+	for i := 0; i < call.Gamma; i++ {
+		startRounds := env.Rounds()
+		changed, err := iterate(env, st, &current, prnts, call, clusterOf)
+		if err != nil {
+			return nil, err
+		}
+		iterRounds := env.Rounds() - startRounds
+		if !changed && call.Cfg.EarlyStop {
+			// Fixed point: every remaining iteration would replay the same
+			// deterministic computation on identical state. Account the
+			// rounds exactly and stop simulating.
+			env.Skip(int64(call.Gamma-1-i) * iterRounds)
+			break
+		}
+	}
+
+	survivors := append([]int(nil), current...)
+	for v := range prnts {
+		survivors = append(survivors, v)
+	}
+	sort.Ints(survivors)
+	res.Survivors = survivors
+	res.BatchEnd = len(st.Batches)
+	return res, nil
+}
+
+// iterate performs one iteration of the main loop of Alg. 2. It reports
+// whether the state changed (children or parents were created).
+func iterate(
+	env *sim.Env,
+	st *State,
+	current *[]int,
+	prnts map[int]bool,
+	call Call,
+	clusterOf func(int) int32,
+) (bool, error) {
+	activeSet := *current
+	g, err := proximity.Construct(env, call.Cfg, call.Sched, activeSet, clusterOf, call.Clustered)
+	if err != nil {
+		return false, fmt.Errorf("sparsify: proximity construction: %w", err)
+	}
+
+	// Independent set Y of the proximity graph.
+	inY := independentSet(env, g, activeSet, call)
+
+	// One schedule pass: everyone announces its Y flag, so prospective
+	// children learn which neighbours joined Y.
+	flag := func(v int) sim.Msg {
+		b := int32(0)
+		if inY[v] {
+			b = 1
+		}
+		return sim.Msg{Kind: sim.KindYFlag, From: int32(env.IDs[v]), A: b}
+	}
+	yViews := make(map[int]map[int]bool, len(activeSet)) // node -> neighbour -> inY
+	for _, d := range g.Sched.Run(env, activeSet, flag, activeSet) {
+		if d.Msg.Kind != sim.KindYFlag {
+			continue
+		}
+		if yViews[d.Receiver] == nil {
+			yViews[d.Receiver] = map[int]bool{}
+		}
+		yViews[d.Receiver][d.Sender] = d.Msg.A == 1
+	}
+
+	// Children pick parents: min-ID Y-neighbour (line 8).
+	parentOf := map[int]int{}
+	for _, v := range activeSet {
+		if inY[v] {
+			continue
+		}
+		best := -1
+		for _, u := range g.Adj[v] {
+			if yViews[v][u] {
+				if best < 0 || env.IDs[u] < env.IDs[best] {
+					best = u
+				}
+			}
+		}
+		if best >= 0 {
+			parentOf[v] = best
+		}
+	}
+
+	// One schedule pass: children notify parents, piggybacking their
+	// completed subtree size (used by imperfect labeling).
+	chooseSenders := make([]int, 0, len(parentOf))
+	for v := range parentOf {
+		chooseSenders = append(chooseSenders, v)
+	}
+	sort.Ints(chooseSenders)
+	chooseMsg := func(v int) sim.Msg {
+		return sim.Msg{
+			Kind: sim.KindChoose,
+			From: int32(env.IDs[v]),
+			A:    int32(env.IDs[parentOf[v]]),
+			B:    int32(st.SubtreeSize[v]),
+		}
+	}
+	newParents := map[int]bool{}
+	for _, d := range g.Sched.Run(env, chooseSenders, chooseMsg, activeSet) {
+		if d.Msg.Kind != sim.KindChoose {
+			continue
+		}
+		p := d.Receiver
+		if int(d.Msg.A) != env.IDs[p] {
+			continue // addressed to a different parent
+		}
+		child := env.NodeOf(int(d.Msg.From))
+		if child < 0 {
+			continue
+		}
+		if chosen, ok := parentOf[child]; !ok || chosen != p {
+			continue
+		}
+		if alreadyChild(st, p, child) {
+			continue
+		}
+		st.Children[p] = append(st.Children[p], ChildRef{Node: child, Size: int(d.Msg.B)})
+		st.SubtreeSize[p] += int(d.Msg.B)
+		newParents[p] = true
+	}
+
+	// Remove children and (new) parents from Active (lines 10–12). A child
+	// is removed once its choose-message handshake is recorded — guaranteed
+	// for proximity-graph edges by Lemma 7, checked defensively here.
+	var batchChildren []int
+	next := (*current)[:0]
+	for _, v := range activeSet {
+		p, isChild := parentOf[v]
+		switch {
+		case isChild && alreadyChild(st, p, v):
+			st.Parent[v] = p
+			batchChildren = append(batchChildren, v)
+		case newParents[v]:
+			prnts[v] = true
+		default:
+			next = append(next, v)
+		}
+	}
+	*current = next
+
+	if len(batchChildren) > 0 {
+		st.Batches = append(st.Batches, Batch{Sched: g.Sched, Children: batchChildren})
+	}
+	return len(batchChildren) > 0 || len(newParents) > 0, nil
+}
+
+// alreadyChild reports whether child is already recorded under p.
+func alreadyChild(st *State, p, child int) bool {
+	for _, c := range st.Children[p] {
+		if c.Node == child {
+			return true
+		}
+	}
+	return false
+}
+
+// independentSet computes Y: local minima by ID for clustered sets (as in
+// Lemma 8), the simulated deterministic MIS for unclustered ones (Lemma 9).
+func independentSet(env *sim.Env, g *proximity.Graph, activeSet []int, call Call) map[int]bool {
+	inY := make(map[int]bool, len(activeSet))
+	if call.Clustered {
+		for _, v := range activeSet {
+			minNb := -1
+			for _, u := range g.Adj[v] {
+				if minNb < 0 || env.IDs[u] < env.IDs[minNb] {
+					minNb = u
+				}
+			}
+			if minNb < 0 || env.IDs[v] < env.IDs[minNb] {
+				inY[v] = true
+			}
+		}
+		return inY
+	}
+	exchange := func(msgOf func(int) sim.Msg) []sim.Delivery {
+		return g.Sched.Run(env, activeSet, msgOf, activeSet)
+	}
+	res := mis.Compute(activeSet, func(v int) int { return env.IDs[v] }, g.Adj, exchange, mis.Options{
+		IDBound: env.N,
+		Factor:  call.Cfg.MISColorFactor,
+		Seed:    call.Cfg.Seed,
+		Fast:    call.Cfg.FastMIS,
+	})
+	return res.InMIS
+}
