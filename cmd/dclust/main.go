@@ -7,43 +7,95 @@
 //	dclust -algo local   -topology clumps -n 80
 //	dclust -algo global  -topology strip -n 60 -length 8
 //	dclust -algo leader  -topology line -n 12
+//	dclust -algo cluster -topology disk -n 50000 -engine sparse
+//	dclust -algo cluster -preset huge
+//
+// With -radius 0 (the default) the disk radius / square side auto-scales
+// with n (max(2, √n/5)) so large instances keep a bounded per-unit-ball
+// density instead of collapsing into one giant clique; pass an explicit
+// -radius to override. -engine selects the physical-layer engine: dense
+// (8·n² gain matrix, fastest at small n), sparse (grid-bucketed, linear
+// memory, parallel delivery — required beyond a few thousand nodes), or
+// auto (dense < 4096 nodes, sparse above).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"dcluster"
 )
 
+// preset bundles a named large-scale scenario: topology, node count and
+// radius (0 = auto-scale).
+type preset struct {
+	topology string
+	n        int
+	radius   float64
+}
+
+// presets are the built-in topology scales. The sparse engine is the only
+// practical choice from "large" up (the dense gain matrix would need
+// ≥ 20 GB at 50k nodes).
+var presets = map[string]preset{
+	"small":  {topology: "disk", n: 256, radius: 0},
+	"medium": {topology: "disk", n: 4096, radius: 0},
+	"large":  {topology: "disk", n: 50000, radius: 0},
+	"huge":   {topology: "square", n: 100000, radius: 0},
+	"city":   {topology: "clumps", n: 25000, radius: 0},
+}
+
 func main() {
 	var (
-		algo     = flag.String("algo", "cluster", "algorithm: cluster | local | global | leader | wakeup")
+		algo     = flag.String("algo", "cluster", "algorithm: cluster | local | global | leader | wakeup | stats")
 		topology = flag.String("topology", "disk", "topology: disk | square | strip | clumps | line | grid")
 		n        = flag.Int("n", 64, "number of nodes")
-		radius   = flag.Float64("radius", 2.0, "disk radius / square side")
+		radius   = flag.Float64("radius", 0, "disk radius / square side (0 = auto-scale with n)")
 		length   = flag.Float64("length", 8, "strip length")
 		seed     = flag.Int64("seed", 1, "topology seed")
 		source   = flag.Int("source", 0, "source node for global broadcast")
+		engine   = flag.String("engine", "auto", "SINR engine: dense | sparse | auto")
+		presetF  = flag.String("preset", "", "scale preset: small | medium | large | huge | city (overrides -topology/-n/-radius)")
 		quiet    = flag.Bool("q", false, "print only the result line")
 	)
 	flag.Parse()
+
+	if *presetF != "" {
+		p, ok := presets[*presetF]
+		if !ok {
+			fatal(fmt.Errorf("unknown preset %q", *presetF))
+		}
+		*topology, *n, *radius = p.topology, p.n, p.radius
+	}
+	if *radius == 0 {
+		*radius = autoRadius(*n)
+	}
 
 	pts, err := buildTopology(*topology, *n, *radius, *length, *seed)
 	if err != nil {
 		fatal(err)
 	}
-	net, err := dcluster.NewNetwork(pts)
+	net, err := dcluster.NewNetwork(pts, dcluster.WithEngine(dcluster.EngineKind(*engine)))
 	if err != nil {
 		fatal(err)
 	}
+	printStats := func() {
+		fmt.Printf("topology=%s n=%d radius=%.2f engine=%s density=%d maxdeg=%d diameter=%d connected=%v\n",
+			*topology, net.Len(), *radius, net.Engine(), net.Density(), net.MaxDegree(), net.Diameter(), net.Connected())
+	}
 	if !*quiet {
-		fmt.Printf("topology=%s n=%d density=%d maxdeg=%d diameter=%d connected=%v\n",
-			*topology, net.Len(), net.Density(), net.MaxDegree(), net.Diameter(), net.Connected())
+		printStats()
 	}
 
 	switch *algo {
+	case "stats":
+		// Topology-only mode: the structural line above is the output (with
+		// -q, print it here since the header was suppressed).
+		if *quiet {
+			printStats()
+		}
 	case "cluster":
 		res, err := net.Cluster()
 		if err != nil {
@@ -97,6 +149,17 @@ func main() {
 	}
 }
 
+// autoRadius scales the deployment area with n so the expected per-unit-ball
+// density stays bounded (≈ n/r² = 25): r = max(2, √n/5). For the historical
+// n ≤ 100 examples this matches the old fixed default of 2.
+func autoRadius(n int) float64 {
+	r := math.Sqrt(float64(n)) / 5
+	if r < 2 {
+		r = 2
+	}
+	return r
+}
+
 func buildTopology(kind string, n int, radius, length float64, seed int64) ([]dcluster.Point, error) {
 	switch kind {
 	case "disk":
@@ -106,7 +169,14 @@ func buildTopology(kind string, n int, radius, length float64, seed int64) ([]dc
 	case "strip":
 		return dcluster.ConnectedStrip(n, length, 1, 0.7, seed), nil
 	case "clumps":
-		return dcluster.GaussianClusters(n, 4, radius*2, 0.3, seed), nil
+		clumps, stddev := 4, 0.3
+		if n > 1024 {
+			// Scale clump count with n and widen the spread so clumps stay
+			// at a simulable density and overlap into one component.
+			clumps = n / 256
+			stddev = 1.5
+		}
+		return dcluster.GaussianClusters(n, clumps, radius*2, stddev, seed), nil
 	case "line":
 		return dcluster.LinePath(n, 0.7), nil
 	case "grid":

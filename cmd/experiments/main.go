@@ -18,10 +18,16 @@ import (
 
 func main() {
 	var (
-		run  = flag.String("run", "all", "experiment: table1|table2|fig1|fig2|fig3|fig4|fig56|fig7|clustering|all")
-		full = flag.Bool("full", false, "run at full (EXPERIMENTS.md) scale")
+		run    = flag.String("run", "all", "experiment: table1|table2|fig1|fig2|fig3|fig4|fig56|fig7|clustering|all")
+		full   = flag.Bool("full", false, "run at full (EXPERIMENTS.md) scale")
+		engine = flag.String("engine", "dense", "SINR engine: dense | sparse")
 	)
 	flag.Parse()
+
+	if err := exp.SetEngine(*engine); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
 
 	size := exp.Quick
 	if *full {

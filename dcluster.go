@@ -11,6 +11,20 @@
 // selectors), the full algorithm stack of the paper, the baselines its
 // comparison tables cite, and the Theorem 6 lower-bound gadgets.
 //
+// # Physical-layer engines
+//
+// Two interchangeable SINR engines back the simulator:
+//
+//   - The dense engine (EngineDense) precomputes the full 8·n² gain matrix:
+//     fastest per-round at small n, memory-bound beyond a few thousand nodes.
+//   - The sparse engine (EngineSparse) stores positions only, buckets
+//     transmitters into a spatial grid, truncates far-field interference
+//     behind a conservative bound, and parallelises delivery across
+//     listeners: linear memory, scales to 100k+ nodes.
+//
+// Both produce identical reception sets; EngineAuto (the default) picks
+// dense below 4096 nodes and sparse above.
+//
 // Quick start:
 //
 //	pts := dcluster.UniformDisk(100, 3, 42)
@@ -18,6 +32,10 @@
 //	if err != nil { ... }
 //	res, err := net.Cluster()
 //	// res.ClusterOf[i] is node i's cluster; res.Rounds the SINR round cost.
+//
+// For large instances, force the sparse engine:
+//
+//	net, err := dcluster.NewNetwork(pts, dcluster.WithEngine(dcluster.EngineSparse))
 package dcluster
 
 import (
@@ -70,15 +88,34 @@ var (
 	GridLattice = geom.GridLattice
 )
 
+// EngineKind selects the physical-layer engine backing a Network.
+type EngineKind string
+
+// Engine kinds. EngineAuto picks EngineDense below SparseAutoThreshold nodes
+// (fastest per-round, 8·n² memory) and EngineSparse at or above it (linear
+// memory, grid-bucketed parallel delivery). Both engines produce identical
+// reception sets.
+const (
+	EngineAuto   EngineKind = "auto"
+	EngineDense  EngineKind = "dense"
+	EngineSparse EngineKind = "sparse"
+)
+
+// SparseAutoThreshold is the node count at which EngineAuto switches from
+// the dense gain-matrix engine to the sparse grid engine (the dense matrix
+// crosses ~128 MiB here).
+const SparseAutoThreshold = 4096
+
 // Network is a static wireless network instance: node positions, the SINR
-// field, protocol configuration and ID assignment. All algorithm entry
+// engine, protocol configuration and ID assignment. All algorithm entry
 // points run on a fresh synchronous execution and report their own round
 // costs; the Network itself is immutable and safe to reuse sequentially.
 type Network struct {
 	pts    []Point
 	params Params
 	cfg    Config
-	field  *sinr.Field
+	engine EngineKind
+	field  sinr.Engine
 	ids    []int
 	idcap  int
 }
@@ -100,6 +137,10 @@ func WithIDs(ids []int, idBound int) Option {
 	}
 }
 
+// WithEngine selects the physical-layer engine (EngineAuto, EngineDense or
+// EngineSparse).
+func WithEngine(kind EngineKind) Option { return func(n *Network) { n.engine = kind } }
+
 // NewNetwork builds a network over the given node positions.
 func NewNetwork(pts []Point, opts ...Option) (*Network, error) {
 	if len(pts) == 0 {
@@ -109,6 +150,7 @@ func NewNetwork(pts []Point, opts ...Option) (*Network, error) {
 		pts:    append([]Point(nil), pts...),
 		params: DefaultParams(),
 		cfg:    DefaultConfig(),
+		engine: EngineAuto,
 	}
 	for _, o := range opts {
 		o(n)
@@ -119,13 +161,37 @@ func NewNetwork(pts []Point, opts ...Option) (*Network, error) {
 	if err := n.cfg.Validate(); err != nil {
 		return nil, err
 	}
-	f, err := sinr.NewField(n.params, n.pts)
-	if err != nil {
-		return nil, err
+	kind := n.engine
+	if kind == EngineAuto || kind == "" {
+		if len(n.pts) >= SparseAutoThreshold {
+			kind = EngineSparse
+		} else {
+			kind = EngineDense
+		}
 	}
-	n.field = f
+	switch kind {
+	case EngineDense:
+		f, err := sinr.NewField(n.params, n.pts)
+		if err != nil {
+			return nil, err
+		}
+		n.field = f
+	case EngineSparse:
+		f, err := sinr.NewSparseField(n.params, n.pts)
+		if err != nil {
+			return nil, err
+		}
+		n.field = f
+	default:
+		return nil, fmt.Errorf("dcluster: unknown engine %q", n.engine)
+	}
+	n.engine = kind
 	return n, nil
 }
+
+// Engine returns the resolved engine kind backing this network (never
+// EngineAuto).
+func (n *Network) Engine() EngineKind { return n.engine }
 
 // env creates a fresh synchronous execution over the shared field.
 func (n *Network) env() (*sim.Env, error) {

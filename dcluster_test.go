@@ -185,3 +185,63 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 		t.Errorf("stats differ across identical runs: %+v vs %+v", a, b)
 	}
 }
+
+func TestEngineSelection(t *testing.T) {
+	pts := UniformDisk(40, 1.8, 3)
+	for _, tt := range []struct {
+		opt  EngineKind
+		want EngineKind
+	}{
+		{EngineAuto, EngineDense}, // 40 < SparseAutoThreshold
+		{EngineDense, EngineDense},
+		{EngineSparse, EngineSparse},
+	} {
+		net, err := NewNetwork(pts, WithEngine(tt.opt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := net.Engine(); got != tt.want {
+			t.Errorf("WithEngine(%s): resolved %s, want %s", tt.opt, got, tt.want)
+		}
+	}
+	if _, err := NewNetwork(pts, WithEngine(EngineKind("warp"))); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+// TestClusterEngineEquivalence runs the full clustering stack on both
+// engines and demands identical outcomes: cluster assignment, centres and
+// round costs. This is the end-to-end counterpart of the per-round
+// equivalence property in internal/sinr.
+func TestClusterEngineEquivalence(t *testing.T) {
+	pts := UniformDisk(60, 2.2, 17)
+	dense, err := NewNetwork(pts, WithEngine(EngineDense))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := NewNetwork(pts, WithEngine(EngineSparse))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dres, err := dense.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := sparse.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.Stats != sres.Stats {
+		t.Errorf("stats diverge: dense %+v sparse %+v", dres.Stats, sres.Stats)
+	}
+	for v := range dres.ClusterOf {
+		if dres.ClusterOf[v] != sres.ClusterOf[v] {
+			t.Fatalf("node %d: dense cluster %d, sparse cluster %d", v, dres.ClusterOf[v], sres.ClusterOf[v])
+		}
+	}
+	for id, c := range dres.Center {
+		if sres.Center[id] != c {
+			t.Fatalf("centre of %d: dense %d sparse %d", id, c, sres.Center[id])
+		}
+	}
+}

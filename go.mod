@@ -1,0 +1,3 @@
+module dcluster
+
+go 1.24

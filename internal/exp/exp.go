@@ -39,8 +39,42 @@ func DiskForDensity(n, delta int, seed int64) []geom.Point {
 	return geom.UniformDisk(n, r, seed)
 }
 
+// engineKind selects the physical-layer engine backing every experiment
+// environment; see SetEngine.
+var engineKind = "dense"
+
+// SetEngine switches the experiment runners to the given SINR engine
+// ("dense" or "sparse"). cmd/experiments exposes this as -engine.
+func SetEngine(kind string) error {
+	switch kind {
+	case "dense", "sparse":
+		engineKind = kind
+		return nil
+	default:
+		return fmt.Errorf("exp: unknown engine %q", kind)
+	}
+}
+
+// newField builds the configured engine over pts.
+func newField(pts []geom.Point) (sinr.Engine, error) {
+	if engineKind == "sparse" {
+		return sinr.NewSparseField(sinr.DefaultParams(), pts)
+	}
+	return sinr.NewField(sinr.DefaultParams(), pts)
+}
+
+// newNetwork is dcluster.NewNetwork pinned to the configured engine, so
+// every runner (not just the raw-env baselines) honours SetEngine.
+func newNetwork(pts []geom.Point) (*dcluster.Network, error) {
+	kind := dcluster.EngineDense
+	if engineKind == "sparse" {
+		kind = dcluster.EngineSparse
+	}
+	return dcluster.NewNetwork(pts, dcluster.WithEngine(kind))
+}
+
 func newEnv(pts []geom.Point) (*sim.Env, error) {
-	f, err := sinr.NewField(sinr.DefaultParams(), pts)
+	f, err := newField(pts)
 	if err != nil {
 		return nil, err
 	}
@@ -51,7 +85,7 @@ func newEnv(pts []geom.Point) (*sim.Env, error) {
 // ID order does not accidentally align with the topology, which would
 // flatter the round-robin baseline).
 func newEnvPermuted(pts []geom.Point, seed int64) (*sim.Env, error) {
-	f, err := sinr.NewField(sinr.DefaultParams(), pts)
+	f, err := newField(pts)
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +141,7 @@ func Table1(size Size) (string, error) {
 				return "", err
 			}
 
-			net, err := dcluster.NewNetwork(pts)
+			net, err := newNetwork(pts)
 			if err != nil {
 				return "", err
 			}
@@ -170,7 +204,7 @@ func Table2(size Size) (string, error) {
 		}
 		rr := baselines.RoundRobinGlobal(envC, 0, 5_000_000)
 
-		net, err := dcluster.NewNetwork(pts)
+		net, err := newNetwork(pts)
 		if err != nil {
 			return "", err
 		}
@@ -197,7 +231,7 @@ func Fig1(size Size) (string, error) {
 		n, length = 80, 10
 	}
 	pts := geom.ConnectedStrip(n, float64(length), 1, 0.7, 13)
-	net, err := dcluster.NewNetwork(pts)
+	net, err := newNetwork(pts)
 	if err != nil {
 		return "", err
 	}
@@ -417,7 +451,7 @@ func ClusteringCost(size Size) (string, error) {
 	fmt.Fprintf(&b, "%6s %6s %10s %14s %10s\n", "n", "Γ", "rounds", "Γ·logN·log*N", "ratio")
 	for _, delta := range deltas {
 		pts := DiskForDensity(n, delta, 3)
-		net, err := dcluster.NewNetwork(pts)
+		net, err := newNetwork(pts)
 		if err != nil {
 			return "", err
 		}

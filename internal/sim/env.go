@@ -15,7 +15,7 @@ import (
 // messages), not on indices — indices exist only for the simulator's
 // bookkeeping.
 type Env struct {
-	F   *sinr.Field
+	F   sinr.Engine
 	IDs []int // IDs[node] = protocol ID ∈ [1..N]
 	N   int   // ID-space bound known to all nodes (N = n^{O(1)})
 
@@ -45,7 +45,7 @@ type Mark struct {
 
 // NewEnv creates an environment. ids must be unique and within [1..idBound];
 // if ids is nil, node i gets ID i+1 and idBound defaults to n.
-func NewEnv(f *sinr.Field, ids []int, idBound int) (*Env, error) {
+func NewEnv(f sinr.Engine, ids []int, idBound int) (*Env, error) {
 	n := f.N()
 	if ids == nil {
 		ids = make([]int, n)
@@ -73,7 +73,7 @@ func NewEnv(f *sinr.Field, ids []int, idBound int) (*Env, error) {
 }
 
 // MustEnv is NewEnv that panics on error (test/example convenience).
-func MustEnv(f *sinr.Field, ids []int, idBound int) *Env {
+func MustEnv(f sinr.Engine, ids []int, idBound int) *Env {
 	e, err := NewEnv(f, ids, idBound)
 	if err != nil {
 		panic(err)

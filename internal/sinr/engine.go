@@ -1,0 +1,86 @@
+package sinr
+
+import "dcluster/internal/geom"
+
+// Engine is the physical-medium abstraction shared by every simulator layer:
+// a fixed set of nodes whose pairwise received powers follow the SINR model,
+// answering "who received whom" queries for arbitrary transmitter sets.
+//
+// Two implementations exist:
+//
+//   - Field precomputes the dense 8·n² gain matrix. O(1) gain lookups and the
+//     fastest per-round Deliver at small n, but memory-bound: a few thousand
+//     nodes is the practical ceiling. It is also the only engine that accepts
+//     an explicit distance matrix (NewFieldFromDistances), which the
+//     lower-bound gadgets require.
+//
+//   - SparseField stores positions only and computes gains lazily through a
+//     spatial grid, truncating negligible far-field interference behind a
+//     conservative aggregate bound and parallelising Deliver across
+//     listeners. Linear memory; scales to hundreds of thousands of nodes.
+//
+// Both engines implement the same reception semantics (Eq. 1 with the β > 1
+// strongest-signal rule); for any transmitter set they produce identical
+// reception sets.
+type Engine interface {
+	// N returns the number of nodes.
+	N() int
+	// Params returns the SINR model parameters.
+	Params() Params
+	// Positions returns the node positions, or nil for distance-matrix
+	// fields.
+	Positions() []geom.Point
+	// Gain returns the received power at u from a transmission by v
+	// (0 for v == u).
+	Gain(v, u int) float64
+	// Distance returns the metric distance between v and u.
+	Distance(v, u int) float64
+	// Deliver computes all successful receptions for one synchronous round
+	// with the given transmitter set, appending to dst. listeners selects
+	// which non-transmitting nodes are checked (nil = all nodes).
+	Deliver(transmitters []int, listeners []int, dst []Reception) []Reception
+	// SINR returns the signal-to-interference-and-noise ratio at u for
+	// sender v given the full transmitter set txs (which must contain v).
+	SINR(v, u int, txs []int) float64
+	// Receives reports whether u receives v's message when txs transmit.
+	Receives(v, u int, txs []int) bool
+	// CommGraph returns adjacency lists of the communication graph: edges
+	// between nodes at distance ≤ (1−ε)·range.
+	CommGraph() [][]int
+}
+
+// Compile-time checks that both engines satisfy the interface.
+var (
+	_ Engine = (*Field)(nil)
+	_ Engine = (*SparseField)(nil)
+)
+
+// sinrOf is the shared Eq. (1) computation behind both engines' SINR
+// methods: the ratio at u for sender v given the full transmitter set txs
+// (which must contain v).
+func sinrOf(f Engine, v, u int, txs []int) float64 {
+	var interference float64
+	seen := false
+	for _, w := range txs {
+		if w == v {
+			seen = true
+			continue
+		}
+		interference += f.Gain(w, u)
+	}
+	if !seen {
+		return 0
+	}
+	return f.Gain(v, u) / (f.Params().Noise + interference)
+}
+
+// receivesOf is the shared reception predicate behind both engines'
+// Receives methods (half-duplex: false if u ∈ txs).
+func receivesOf(f Engine, v, u int, txs []int) bool {
+	for _, w := range txs {
+		if w == u {
+			return false
+		}
+	}
+	return sinrOf(f, v, u, txs) >= f.Params().Beta
+}

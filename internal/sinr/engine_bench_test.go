@@ -1,0 +1,81 @@
+package sinr
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"dcluster/internal/geom"
+)
+
+// benchDeployment builds a constant-density disk (≈ 25 nodes per unit ball,
+// the regime the CLI's auto-scaled radius and large-n presets produce) with
+// every 8th node transmitting.
+func benchDeployment(n int) ([]geom.Point, []int) {
+	pts := geom.UniformDisk(n, math.Sqrt(float64(n)/25), int64(n))
+	var txs []int
+	for v := 0; v < n; v += 8 {
+		txs = append(txs, v)
+	}
+	return pts, txs
+}
+
+// BenchmarkDeliver compares the two engines' full-round delivery cost on
+// constant-density disks. The dense engine is capped at 8192 nodes (the gain
+// matrix crosses 0.5 GiB there); the sparse engine continues into the
+// regime only it can reach.
+func BenchmarkDeliver(b *testing.B) {
+	for _, n := range []int{1024, 4096, 8192, 32768} {
+		pts, txs := benchDeployment(n)
+		if n <= 8192 {
+			b.Run(fmt.Sprintf("dense/n=%d", n), func(b *testing.B) {
+				f, err := NewField(DefaultParams(), pts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var dst []Reception
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					dst = f.Deliver(txs, nil, dst[:0])
+				}
+				_ = dst
+			})
+		}
+		b.Run(fmt.Sprintf("sparse/n=%d", n), func(b *testing.B) {
+			f, err := NewSparseField(DefaultParams(), pts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var dst []Reception
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = f.Deliver(txs, nil, dst[:0])
+			}
+			_ = dst
+		})
+	}
+}
+
+// BenchmarkEngineConstruction measures field build cost: the dense engine
+// pays O(n²) up front, the sparse engine O(n).
+func BenchmarkEngineConstruction(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		pts, _ := benchDeployment(n)
+		b.Run(fmt.Sprintf("dense/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := NewField(DefaultParams(), pts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("sparse/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := NewSparseField(DefaultParams(), pts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,231 @@
+package sinr
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dcluster/internal/geom"
+)
+
+// equivTopologies generates the random deployments of the dense/sparse
+// equivalence property: constant-density disks, multi-hop strips and clumpy
+// Gaussian clusters, all the shapes the paper's experiments use.
+func equivTopologies(n int, seed int64) map[string][]geom.Point {
+	r := math.Sqrt(float64(n) / 8)
+	if r < 2 {
+		r = 2
+	}
+	return map[string][]geom.Point{
+		"disk":   geom.UniformDisk(n, r, seed),
+		"strip":  geom.Strip(n, 4*r, 1, seed),
+		"clumps": geom.GaussianClusters(n, 1+n/64, 2*r, 0.3, seed),
+	}
+}
+
+// TestPropertyDenseSparseEquivalence is the engine-equivalence property:
+// for random topologies and random transmitter sets of widely varying
+// density, Deliver must return the identical reception sequence (receivers,
+// senders and order) on both engines.
+func TestPropertyDenseSparseEquivalence(t *testing.T) {
+	for _, n := range []int{16, 64, 256, 1024, 2048} {
+		for name, pts := range equivTopologies(n, int64(n)) {
+			t.Run(fmt.Sprintf("%s/n%d", name, n), func(t *testing.T) {
+				params := DefaultParams()
+				dense, err := NewField(params, pts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sparse, err := NewSparseField(params, pts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(int64(n) * 31))
+				// Transmitter densities from a lone speaker to a full
+				// shout-down; both grid and direct-scan paths are exercised
+				// (the cutover sits at smallTxCutoff).
+				for trial := 0; trial < 12; trial++ {
+					frac := []float64{0.005, 0.02, 0.1, 0.25, 0.5, 1}[trial%6]
+					var txs []int
+					for v := 0; v < n; v++ {
+						if rng.Float64() < frac {
+							txs = append(txs, v)
+						}
+					}
+					if len(txs) == 0 {
+						txs = []int{rng.Intn(n)}
+					}
+					var listeners []int
+					if trial%3 == 1 {
+						for v := 0; v < n; v++ {
+							if rng.Float64() < 0.5 {
+								listeners = append(listeners, v)
+							}
+						}
+					}
+					want := dense.Deliver(txs, listeners, nil)
+					got := sparse.Deliver(txs, listeners, nil)
+					if !sameReceptions(want, got) {
+						t.Fatalf("trial %d (|T|=%d, listeners=%v): dense %v != sparse %v",
+							trial, len(txs), listeners != nil, want, got)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPropertyEquivalenceTightFarRadius re-runs the equivalence with the far
+// radius forced down to the transmission range — the maximally truncated
+// configuration, where the conservative tail bound and the exact fallback
+// carry the whole correctness burden.
+func TestPropertyEquivalenceTightFarRadius(t *testing.T) {
+	n := 512
+	for name, pts := range equivTopologies(n, 7) {
+		t.Run(name, func(t *testing.T) {
+			params := DefaultParams()
+			dense, err := NewField(params, pts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sparse, err := NewSparseField(params, pts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sparse.SetFarRadius(params.Range()); err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(99))
+			for trial := 0; trial < 8; trial++ {
+				var txs []int
+				for v := 0; v < n; v++ {
+					if rng.Float64() < 0.2 {
+						txs = append(txs, v)
+					}
+				}
+				want := dense.Deliver(txs, nil, nil)
+				got := sparse.Deliver(txs, nil, nil)
+				if !sameReceptions(want, got) {
+					t.Fatalf("trial %d: dense %v != sparse %v", trial, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestSparseMatchesDensePointQueries checks the lazy point queries (Gain,
+// Distance, SINR, Receives, CommGraph) against the dense precomputation.
+func TestSparseMatchesDensePointQueries(t *testing.T) {
+	pts := geom.UniformDisk(128, 4, 3)
+	params := DefaultParams()
+	dense, err := NewField(params, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := NewSparseField(params, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := []int{1, 5, 9, 40, 77}
+	for v := 0; v < 128; v += 7 {
+		for u := 0; u < 128; u += 5 {
+			if dense.Gain(v, u) != sparse.Gain(v, u) {
+				t.Fatalf("Gain(%d,%d): dense %v sparse %v", v, u, dense.Gain(v, u), sparse.Gain(v, u))
+			}
+			if dense.Distance(v, u) != sparse.Distance(v, u) {
+				t.Fatalf("Distance(%d,%d) mismatch", v, u)
+			}
+			if dense.SINR(v, u, txs) != sparse.SINR(v, u, txs) {
+				t.Fatalf("SINR(%d,%d) mismatch", v, u)
+			}
+			if dense.Receives(v, u, txs) != sparse.Receives(v, u, txs) {
+				t.Fatalf("Receives(%d,%d) mismatch", v, u)
+			}
+		}
+	}
+	da, sa := dense.CommGraph(), sparse.CommGraph()
+	for v := range da {
+		if !sameIntSet(da[v], sa[v]) {
+			t.Fatalf("CommGraph[%d]: dense %v sparse %v", v, da[v], sa[v])
+		}
+	}
+}
+
+// TestSparseParallelDeterminism checks that the parallel Deliver path (above
+// parallelCutoff listeners) produces the same ordered output as a serial
+// dense run — ordering must not depend on goroutine scheduling.
+func TestSparseParallelDeterminism(t *testing.T) {
+	n := 3 * parallelCutoff
+	pts := geom.UniformDisk(n, math.Sqrt(float64(n)/8), 5)
+	params := DefaultParams()
+	sparse, err := NewSparseField(params, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	var txs []int
+	for v := 0; v < n; v++ {
+		if rng.Float64() < 0.1 {
+			txs = append(txs, v)
+		}
+	}
+	want := sparse.Deliver(txs, nil, nil)
+	for rep := 0; rep < 5; rep++ {
+		got := sparse.Deliver(txs, nil, nil)
+		if !sameReceptions(want, got) {
+			t.Fatalf("rep %d: nondeterministic parallel Deliver", rep)
+		}
+	}
+	// And the ordered-output contract: ascending receivers for nil listeners.
+	for i := 1; i < len(want); i++ {
+		if want[i-1].Receiver >= want[i].Receiver {
+			t.Fatalf("receivers out of order at %d: %v", i, want[i-1:i+1])
+		}
+	}
+}
+
+// TestSparseFarRadiusValidation checks the far-radius floor.
+func TestSparseFarRadiusValidation(t *testing.T) {
+	sparse, err := NewSparseField(DefaultParams(), geom.UniformDisk(16, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sparse.SetFarRadius(0.5); err == nil {
+		t.Fatal("far radius below transmission range accepted")
+	}
+	if err := sparse.SetFarRadius(3); err != nil {
+		t.Fatalf("valid far radius rejected: %v", err)
+	}
+	if got := sparse.FarRadius(); got != 3 {
+		t.Fatalf("FarRadius = %v, want 3", got)
+	}
+}
+
+func sameReceptions(a, b []Reception) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameIntSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[int]bool, len(a))
+	for _, x := range a {
+		seen[x] = true
+	}
+	for _, x := range b {
+		if !seen[x] {
+			return false
+		}
+	}
+	return true
+}

@@ -9,15 +9,19 @@ import (
 
 func pow(x, a float64) float64 { return math.Pow(x, a) }
 
-// Field is the physical medium: a fixed set of node locations with
+// Field is the dense SINR engine: a fixed set of node locations with
 // precomputed pairwise received-power gains G[v][u] = P / d(v,u)^α.
 // A Field answers "who received whom" queries for arbitrary transmitter
 // sets; it performs no protocol logic.
 //
-// The gain matrix costs 8·n² bytes; fields up to a few thousand nodes fit
-// comfortably. For the lower-bound gadgets distances are supplied analytically
-// (NewFieldFromDistances) to avoid floating-point absorption of the
-// geometrically shrinking node gaps.
+// The gain matrix costs 8·n² bytes and Deliver scans every transmitter per
+// listener, so Field is the engine of choice up to a few thousand nodes:
+// O(1) gain lookups, no per-round indexing overhead, and exact results by
+// construction. Beyond that, use SparseField — the grid-bucketed engine with
+// linear memory and parallel Deliver — which produces identical reception
+// sets. Field is also the only engine accepting an explicit distance matrix
+// (NewFieldFromDistances), which the lower-bound gadgets require to avoid
+// floating-point absorption of the geometrically shrinking node gaps.
 type Field struct {
 	params Params
 	n      int
@@ -78,7 +82,17 @@ func NewFieldFromDistances(params Params, dist [][]float64) (*Field, error) {
 	return f, nil
 }
 
+// gainAt is the shared received-power formula of both engines; the sparse
+// engine evaluates it lazily in Deliver's inner loop, so the common integer
+// path-loss exponents bypass math.Pow.
 func gainAt(p Params, d float64) float64 {
+	switch p.Alpha {
+	case 3:
+		return p.Power / (d * d * d)
+	case 4:
+		d2 := d * d
+		return p.Power / (d2 * d2)
+	}
 	return p.Power / pow(d, p.Alpha)
 }
 
@@ -171,32 +185,11 @@ func (f *Field) txScratch() []bool {
 
 // SINR returns the signal-to-interference-and-noise ratio at u for sender v
 // given the full transmitter set txs (which must contain v), per Eq. (1).
-func (f *Field) SINR(v, u int, txs []int) float64 {
-	var interference float64
-	seen := false
-	for _, w := range txs {
-		if w == v {
-			seen = true
-			continue
-		}
-		interference += f.gain[w][u]
-	}
-	if !seen {
-		return 0
-	}
-	return f.gain[v][u] / (f.params.Noise + interference)
-}
+func (f *Field) SINR(v, u int, txs []int) float64 { return sinrOf(f, v, u, txs) }
 
 // Receives reports whether u receives v's message when txs transmit
 // (half-duplex: false if u ∈ txs).
-func (f *Field) Receives(v, u int, txs []int) bool {
-	for _, w := range txs {
-		if w == u {
-			return false
-		}
-	}
-	return f.SINR(v, u, txs) >= f.params.Beta
-}
+func (f *Field) Receives(v, u int, txs []int) bool { return receivesOf(f, v, u, txs) }
 
 // CommGraph returns adjacency lists of the communication graph: edges
 // between nodes at distance ≤ (1−ε)·range.

@@ -1,0 +1,678 @@
+package sinr
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dcluster/internal/geom"
+)
+
+// DefaultFarFactor scales the transmission range into the default far-field
+// truncation radius of a SparseField.
+const DefaultFarFactor = 2.0
+
+// smallTxCutoff: transmitter sets at or below this size are checked by a
+// direct scan (identical to the dense engine's inner loop) instead of going
+// through the spatial grid — the grid only pays off when the per-listener
+// near neighbourhood is smaller than the whole transmitter set.
+const smallTxCutoff = 24
+
+// parallelCutoff is the minimum number of listeners before Deliver fans out
+// to the worker pool; below it the goroutine overhead exceeds the work.
+const parallelCutoff = 256
+
+// chunkTarget is the aimed-for number of listeners per parallel chunk.
+const chunkTarget = 128
+
+// superSide is the coarse aggregation factor of the far-field bound: a
+// supercell is superSide × superSide grid cells. Tail bounds enumerate
+// individual cells inside the listener's 3×3 supercell block and whole
+// supercells beyond it.
+const superSide = 4
+
+// certSlack is the relative margin demanded before the truncated fast paths
+// may decide a reception. Decisions closer to the SINR threshold than this
+// slack fall back to the exact full scan, so floating-point summation-order
+// noise can never flip a decision relative to the dense engine.
+const certSlack = 1e-9
+
+// SparseField is the scalable SINR engine: it stores node positions only
+// (no n² gain matrix) and computes gains lazily through a uniform spatial
+// grid. Deliver buckets the round's transmitters into grid cells, scans each
+// listener's near field (≤ FarRadius) exactly, and truncates interference
+// beyond it behind a conservative aggregate bound: a reception is granted or
+// denied on the truncated sums only when the decision clears the threshold
+// with slack under the worst-case tail; anything closer falls back to the
+// exact full scan. Decisions therefore always match the dense engine.
+// Listener checks fan out over goroutine chunks bounded by 4·GOMAXPROCS,
+// reusing per-chunk result buffers across rounds.
+//
+// Memory is O(n + cells); per-round work is O(|T| + |L|·near(FarRadius))
+// plus the rare exact fallbacks. A SparseField is not safe for concurrent
+// Deliver calls (matching *Field); the internal parallelism is self-managed.
+type SparseField struct {
+	params Params
+	n      int
+	pos    []geom.Point
+	far    float64 // far-field truncation radius, ≥ Range
+
+	// Static grid geometry over the (fixed) positions.
+	min    geom.Point
+	cell   float64
+	nx, ny int
+
+	// Per-round transmitter buckets (CSR layout, reused across rounds).
+	// For a nonempty cell c, its transmitters are cellTx[cellStart[c]:
+	// cellEnd[c]]; both arrays are zero outside the dirty list.
+	cellStart []int32
+	cellEnd   []int32
+	cellTx    []int32
+	dirty     []int32 // nonempty cell ids of the current round (for reset)
+	isTx      []bool
+	chunkRes  [][]Reception // reusable per-chunk result buffers
+
+	// Supercell (superSide × superSide cells) transmitter totals, the coarse
+	// level of the two-level far-field bound.
+	nsx, nsy   int
+	superCount []int32
+	superDirty []int32
+
+	// Per-listener-cell conservative tail bounds (upper and lower), computed
+	// lazily during a round and cached behind an epoch stamp. Accessed with
+	// atomics: concurrent workers may recompute a cell's bounds redundantly,
+	// but the computation is deterministic, so every store writes identical
+	// bits.
+	posCell    []int32  // static: grid cell of each node
+	cellTail   []uint64 // math.Float64bits of the upper bound
+	cellTailLo []uint64 // math.Float64bits of the lower bound
+	tailStamp  []int64
+	epoch      int64
+
+	// Static per-offset gain bounds for the fine level of the tail bound:
+	// all grid cells are congruent, so the min/max distance between two
+	// cells depends only on their offset. Index (dy+fineHalf)*fineDim +
+	// (dx+fineHalf); entries are 0 when the offset cell is entirely within
+	// the near field (members are near-summed exactly).
+	fineHi []float64
+	fineLo []float64
+
+	workers int
+}
+
+// fineHalf spans the largest cell offset reachable inside a 3×3 supercell
+// block (2·superSide−1 cells, padded to 3·superSide for safety).
+const fineHalf = 3 * superSide
+
+// fineDim is the fine-table side length.
+const fineDim = 2*fineHalf + 1
+
+// NewSparseField builds a sparse engine over the given positions with the
+// default far-field radius DefaultFarFactor·Range.
+func NewSparseField(params Params, pos []geom.Point) (*SparseField, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(pos)
+	f := &SparseField{
+		params:  params,
+		n:       n,
+		pos:     append([]geom.Point(nil), pos...),
+		far:     DefaultFarFactor * params.Range(),
+		workers: runtime.GOMAXPROCS(0),
+	}
+	f.initGrid()
+	return f, nil
+}
+
+// initGrid fixes the cell geometry: cell side = Range (the candidate-sender
+// query radius), grown if needed to cap the cell count near 8·n so sparse
+// deployments over huge areas stay linear in memory.
+func (f *SparseField) initGrid() {
+	min, max := geom.BoundingBox(f.pos)
+	f.min = min
+	f.cell = f.params.Range()
+	w, h := max.X-min.X, max.Y-min.Y
+	for {
+		f.nx = int(w/f.cell) + 1
+		f.ny = int(h/f.cell) + 1
+		if f.n == 0 || f.nx*f.ny <= 8*f.n+64 {
+			break
+		}
+		f.cell *= 2
+	}
+	f.cellStart = make([]int32, f.nx*f.ny)
+	f.cellEnd = make([]int32, f.nx*f.ny)
+	f.nsx = (f.nx + superSide - 1) / superSide
+	f.nsy = (f.ny + superSide - 1) / superSide
+	f.superCount = make([]int32, f.nsx*f.nsy)
+	f.cellTail = make([]uint64, f.nx*f.ny)
+	f.cellTailLo = make([]uint64, f.nx*f.ny)
+	f.tailStamp = make([]int64, f.nx*f.ny)
+	f.buildFineTables()
+	f.posCell = make([]int32, f.n)
+	for i, p := range f.pos {
+		f.posCell[i] = int32(f.cellOf(p))
+	}
+	f.isTx = make([]bool, f.n)
+}
+
+// SetFarRadius overrides the far-field truncation radius. It must be at
+// least the transmission range (candidate senders are searched within the
+// far radius). Call before the first Deliver.
+func (f *SparseField) SetFarRadius(r float64) error {
+	if r < f.params.Range() {
+		return fmt.Errorf("sinr: far radius %v below transmission range %v", r, f.params.Range())
+	}
+	f.far = r
+	f.buildFineTables()
+	return nil
+}
+
+// buildFineTables precomputes, for every cell offset inside the fine window,
+// the conservative gain bounds used by computeCellTail: hi at the closest
+// possible inter-cell distance (clamped to the far radius), lo at the
+// farthest (only when the whole offset cell is certainly beyond the far
+// radius).
+func (f *SparseField) buildFineTables() {
+	f.fineHi = make([]float64, fineDim*fineDim)
+	f.fineLo = make([]float64, fineDim*fineDim)
+	gFar := gainAt(f.params, f.far)
+	for dy := -fineHalf; dy <= fineHalf; dy++ {
+		for dx := -fineHalf; dx <= fineHalf; dx++ {
+			gapX := float64(abs(dx)-1) * f.cell
+			if gapX < 0 {
+				gapX = 0
+			}
+			gapY := float64(abs(dy)-1) * f.cell
+			if gapY < 0 {
+				gapY = 0
+			}
+			maxX := float64(abs(dx)+1) * f.cell
+			maxY := float64(abs(dy)+1) * f.cell
+			dmin := math.Sqrt(gapX*gapX + gapY*gapY)
+			dmax := math.Sqrt(maxX*maxX + maxY*maxY)
+			i := (dy+fineHalf)*fineDim + (dx + fineHalf)
+			if dmax <= f.far {
+				continue // fully near for any listener in the centre cell
+			}
+			if dmin <= f.far {
+				f.fineHi[i] = gFar
+			} else {
+				f.fineHi[i] = gainAt(f.params, dmin)
+				f.fineLo[i] = gainAt(f.params, dmax)
+			}
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// FarRadius returns the far-field truncation radius.
+func (f *SparseField) FarRadius() float64 { return f.far }
+
+// N returns the number of nodes in the field.
+func (f *SparseField) N() int { return f.n }
+
+// Params returns the model parameters.
+func (f *SparseField) Params() Params { return f.params }
+
+// Positions returns the node positions.
+func (f *SparseField) Positions() []geom.Point { return f.pos }
+
+// Gain returns the received power at u from a transmission by v, computed
+// lazily from the positions (0 for v == u, matching the dense engine).
+func (f *SparseField) Gain(v, u int) float64 {
+	if v == u {
+		return 0
+	}
+	return gainAt(f.params, geom.Dist(f.pos[v], f.pos[u]))
+}
+
+// Distance returns the Euclidean distance between v and u.
+func (f *SparseField) Distance(v, u int) float64 {
+	return geom.Dist(f.pos[v], f.pos[u])
+}
+
+// SINR returns the signal-to-interference-and-noise ratio at u for sender v
+// given the full transmitter set txs (which must contain v), per Eq. (1).
+func (f *SparseField) SINR(v, u int, txs []int) float64 { return sinrOf(f, v, u, txs) }
+
+// Receives reports whether u receives v's message when txs transmit
+// (half-duplex: false if u ∈ txs).
+func (f *SparseField) Receives(v, u int, txs []int) bool { return receivesOf(f, v, u, txs) }
+
+// CommGraph returns adjacency lists of the communication graph: edges
+// between nodes at distance ≤ (1−ε)·range.
+func (f *SparseField) CommGraph() [][]int {
+	return geom.CommGraph(f.pos, f.params.GraphRadius())
+}
+
+// cellOf returns the grid cell index of p, clamped to the grid.
+func (f *SparseField) cellOf(p geom.Point) int {
+	cx := int((p.X - f.min.X) / f.cell)
+	cy := int((p.Y - f.min.Y) / f.cell)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= f.nx {
+		cx = f.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= f.ny {
+		cy = f.ny - 1
+	}
+	return cy*f.nx + cx
+}
+
+// bucketTx fills the CSR transmitter buckets for one round. cellEnd doubles
+// as the per-cell count, then the placement cursor; after placement it holds
+// each cell's end offset while cellStart holds its start.
+func (f *SparseField) bucketTx(txs []int) {
+	if cap(f.cellTx) < len(txs) {
+		f.cellTx = make([]int32, len(txs))
+	}
+	f.cellTx = f.cellTx[:len(txs)]
+	f.dirty = f.dirty[:0]
+	f.epoch++
+	for _, v := range txs {
+		c := f.cellOf(f.pos[v])
+		if f.cellEnd[c] == 0 {
+			f.dirty = append(f.dirty, int32(c))
+		}
+		f.cellEnd[c]++
+	}
+	var sum int32
+	f.superDirty = f.superDirty[:0]
+	for _, c := range f.dirty {
+		cnt := f.cellEnd[c]
+		f.cellStart[c] = sum
+		f.cellEnd[c] = sum // placement cursor
+		sum += cnt
+		s := f.superOf(int(c))
+		if f.superCount[s] == 0 {
+			f.superDirty = append(f.superDirty, int32(s))
+		}
+		f.superCount[s] += cnt
+	}
+	for _, v := range txs {
+		c := f.cellOf(f.pos[v])
+		f.cellTx[f.cellEnd[c]] = int32(v)
+		f.cellEnd[c]++
+	}
+}
+
+// superOf returns the supercell index of grid cell c.
+func (f *SparseField) superOf(c int) int {
+	return (c/f.nx/superSide)*f.nsx + (c%f.nx)/superSide
+}
+
+// resetBuckets clears the per-round CSR state touched by bucketTx.
+func (f *SparseField) resetBuckets() {
+	for _, c := range f.dirty {
+		f.cellStart[c] = 0
+		f.cellEnd[c] = 0
+	}
+	for _, s := range f.superDirty {
+		f.superCount[s] = 0
+	}
+}
+
+// Deliver computes all successful receptions for one synchronous round with
+// the given transmitter set; see Engine. Results are appended to dst in
+// listener order (ascending node index when listeners is nil), matching the
+// dense engine.
+func (f *SparseField) Deliver(transmitters []int, listeners []int, dst []Reception) []Reception {
+	if len(transmitters) == 0 {
+		return dst
+	}
+	for _, v := range transmitters {
+		f.isTx[v] = true
+	}
+	defer func() {
+		for _, v := range transmitters {
+			f.isTx[v] = false
+		}
+	}()
+
+	count := f.n
+	if listeners != nil {
+		count = len(listeners)
+	}
+
+	useGrid := len(transmitters) > smallTxCutoff
+	if useGrid {
+		f.bucketTx(transmitters)
+		defer f.resetBuckets()
+	}
+
+	if count < parallelCutoff || f.workers < 2 {
+		for i := 0; i < count; i++ {
+			u := i
+			if listeners != nil {
+				u = listeners[i]
+			}
+			if f.isTx[u] {
+				continue
+			}
+			if s, ok := f.checkListener(u, transmitters, useGrid); ok {
+				dst = append(dst, Reception{Receiver: u, Sender: s})
+			}
+		}
+		return dst
+	}
+
+	// Parallel path: split the listener range into chunks, one result slice
+	// per chunk, merged in order so output ordering matches the serial path.
+	chunks := count / chunkTarget
+	if max := f.workers * 4; chunks > max {
+		chunks = max
+	}
+	if chunks < 2 {
+		chunks = 2
+	}
+	for len(f.chunkRes) < chunks {
+		f.chunkRes = append(f.chunkRes, nil)
+	}
+	per := (count + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for c := 0; c < chunks; c++ {
+		lo := c * per
+		hi := lo + per
+		if hi > count {
+			hi = count
+		}
+		f.chunkRes[c] = f.chunkRes[c][:0]
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			out := f.chunkRes[c]
+			for i := lo; i < hi; i++ {
+				u := i
+				if listeners != nil {
+					u = listeners[i]
+				}
+				if f.isTx[u] {
+					continue
+				}
+				if s, ok := f.checkListener(u, transmitters, useGrid); ok {
+					out = append(out, Reception{Receiver: u, Sender: s})
+				}
+			}
+			f.chunkRes[c] = out
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	for _, out := range f.chunkRes[:chunks] {
+		dst = append(dst, out...)
+	}
+	return dst
+}
+
+// checkListener decides whether listener u receives anything this round and
+// from whom. With useGrid it scans the near field (≤ far radius) through the
+// buckets and bounds the far tail; without it (small transmitter sets) it
+// performs the exact dense-equivalent scan directly.
+func (f *SparseField) checkListener(u int, txs []int, useGrid bool) (int, bool) {
+	if !useGrid {
+		return f.exactCheck(u, txs)
+	}
+	p := f.pos[u]
+	beta, noise := f.params.Beta, f.params.Noise
+	far2 := f.far * f.far
+
+	var nearTotal, best float64
+	bestV := -1
+	tied := false
+
+	cxlo := int((p.X - f.min.X - f.far) / f.cell)
+	cxhi := int((p.X - f.min.X + f.far) / f.cell)
+	cylo := int((p.Y - f.min.Y - f.far) / f.cell)
+	cyhi := int((p.Y - f.min.Y + f.far) / f.cell)
+	if cxlo < 0 {
+		cxlo = 0
+	}
+	if cylo < 0 {
+		cylo = 0
+	}
+	if cxhi >= f.nx {
+		cxhi = f.nx - 1
+	}
+	if cyhi >= f.ny {
+		cyhi = f.ny - 1
+	}
+	scan := func(c int) {
+		for k := f.cellStart[c]; k < f.cellEnd[c]; k++ {
+			v := int(f.cellTx[k])
+			q := f.pos[v]
+			d2 := geom.Dist2(q, p)
+			if d2 > far2 || v == u {
+				continue
+			}
+			// Gains here may differ from the dense precompute by ULPs
+			// (squared-distance arithmetic instead of Hypot); certSlack
+			// keeps such noise from ever deciding a reception, and the
+			// exact fallback below recomputes dense-identically.
+			g := gainFromDist2(f.params, d2)
+			nearTotal += g
+			switch {
+			case g > best:
+				best, bestV, tied = g, v, false
+			case g == best && bestV >= 0:
+				tied = true
+			}
+		}
+	}
+
+	// Candidate-first ordering: a successful sender must lie within the
+	// transmission range, which the 3×3 cell block around u covers (cell ≥
+	// range). Scan it first; if it holds no transmitter strong enough to
+	// ever clear β·noise, no delivery is possible and the outer ring scan
+	// is skipped entirely — the common case in low-density rounds.
+	ux, uy := int(f.posCell[u])%f.nx, int(f.posCell[u])/f.nx
+	ixlo, ixhi := max(cxlo, ux-1), min(cxhi, ux+1)
+	iylo, iyhi := max(cylo, uy-1), min(cyhi, uy+1)
+	for cy := iylo; cy <= iyhi; cy++ {
+		for cx := ixlo; cx <= ixhi; cx++ {
+			scan(cy*f.nx + cx)
+		}
+	}
+	if best < beta*noise*(1-certSlack) {
+		// The strongest in-range signal (if any) is below the β·noise floor
+		// every delivery must clear; transmitters outside the 3×3 block are
+		// beyond the range and weaker still.
+		return -1, false
+	}
+	for cy := cylo; cy <= cyhi; cy++ {
+		base := cy * f.nx
+		for cx := cxlo; cx <= cxhi; cx++ {
+			if cx >= ixlo && cx <= ixhi && cy >= iylo && cy <= iyhi {
+				continue // inner block already scanned
+			}
+			scan(base + cx)
+		}
+	}
+	if bestV < 0 {
+		return -1, false
+	}
+
+	// Certain-no with a zero tail: interference can only grow, and this
+	// needs no tail bound at all — the common exit in dense deployments.
+	needNear := beta * (noise + nearTotal - best)
+	if best < needNear && needNear-best > certSlack*needNear {
+		return -1, false
+	}
+	// Fetch (or lazily compute) the cell's conservative tail bounds.
+	hi, lo := f.cellTailBounds(f.posCell[u])
+	// Certain-no: the true interference is at least near + lower tail.
+	needLo := beta * (noise + nearTotal + lo - best)
+	if best < needLo && needLo-best > certSlack*needLo {
+		return -1, false
+	}
+	// Certain-yes under the upper tail bound.
+	needFar := beta * (noise + nearTotal + hi - best)
+	if !tied && best >= needFar && best-needFar > certSlack*needFar {
+		return bestV, true
+	}
+	// Uncertain band (or an exact gain tie): decide exactly, in the dense
+	// engine's iteration order and arithmetic.
+	return f.exactCheck(u, txs)
+}
+
+// cellTailBounds returns the conservative far-field bounds of listener cell
+// c for the current round, computing and caching them on first use. Safe for
+// concurrent workers: a cell may be computed redundantly, but the value is
+// deterministic, and the epoch stamp is only published after the bits.
+func (f *SparseField) cellTailBounds(c int32) (hi, lo float64) {
+	if atomic.LoadInt64(&f.tailStamp[c]) == f.epoch {
+		return math.Float64frombits(atomic.LoadUint64(&f.cellTail[c])),
+			math.Float64frombits(atomic.LoadUint64(&f.cellTailLo[c]))
+	}
+	hi, lo = f.computeCellTail(int(c))
+	atomic.StoreUint64(&f.cellTail[c], math.Float64bits(hi))
+	atomic.StoreUint64(&f.cellTailLo[c], math.Float64bits(lo))
+	atomic.StoreInt64(&f.tailStamp[c], f.epoch)
+	return hi, lo
+}
+
+// computeCellTail bounds the aggregate interference, at any point of
+// listener cell c, from transmitters beyond the far radius.
+//
+// Upper bound (hi): two levels — individual cells inside c's 3×3 supercell
+// block via the static per-offset gain table, whole supercells beyond it. A
+// cell whose farthest point is within the far radius of all of c
+// contributes nothing (its members are near-summed exactly for every
+// listener in c); every other cell or supercell contributes its full
+// occupancy at the gain of its closest point, clamped to the far radius.
+// Boundary-straddling cells are thus double-counted on the near side — an
+// overestimate, which keeps hi sound.
+//
+// Lower bound (lo): only cells/supercells whose closest point already lies
+// beyond the far radius (their members are all in the tail for every
+// listener in c), each at the gain of its farthest point.
+func (f *SparseField) computeCellTail(c int) (hi, lo float64) {
+	far2 := f.far * f.far
+	gFar := gainAt(f.params, f.far)
+	cx, cy := c%f.nx, c/f.nx
+	sx, sy := cx/superSide, cy/superSide
+
+	// Fine level: individual cells of the 3×3 supercell block around c,
+	// through the static offset tables.
+	bx0, by0 := (sx-1)*superSide, (sy-1)*superSide
+	bx1, by1 := bx0+3*superSide-1, by0+3*superSide-1
+	if bx0 < 0 {
+		bx0 = 0
+	}
+	if by0 < 0 {
+		by0 = 0
+	}
+	if bx1 >= f.nx {
+		bx1 = f.nx - 1
+	}
+	if by1 >= f.ny {
+		by1 = f.ny - 1
+	}
+	for gy := by0; gy <= by1; gy++ {
+		base := gy * f.nx
+		trow := (gy - cy + fineHalf) * fineDim
+		for gx := bx0; gx <= bx1; gx++ {
+			cc := base + gx
+			cnt := float64(f.cellEnd[cc] - f.cellStart[cc])
+			if cnt == 0 {
+				continue
+			}
+			ti := trow + gx - cx + fineHalf
+			hi += cnt * f.fineHi[ti]
+			lo += cnt * f.fineLo[ti]
+		}
+	}
+
+	// Coarse level: whole supercells outside the block. Distances use the
+	// super's full rectangle, which contains all of its transmitters; the
+	// listener cell rectangle is [ax0,ax0+cell]×[ay0,ay0+cell].
+	sw := float64(superSide) * f.cell
+	ax0 := f.min.X + float64(cx)*f.cell
+	ay0 := f.min.Y + float64(cy)*f.cell
+	for _, si := range f.superDirty {
+		s := int(si)
+		qsx, qsy := s%f.nsx, s/f.nsx
+		if qsx >= sx-1 && qsx <= sx+1 && qsy >= sy-1 && qsy <= sy+1 {
+			continue // covered by the fine level
+		}
+		qx0 := f.min.X + float64(qsx)*sw
+		qy0 := f.min.Y + float64(qsy)*sw
+		dmin2, dmax2 := rectRectDist2(ax0, ay0, ax0+f.cell, ay0+f.cell, qx0, qy0, qx0+sw, qy0+sw)
+		cnt := float64(f.superCount[s])
+		if dmin2 <= far2 {
+			hi += cnt * gFar
+		} else {
+			hi += cnt * gainAt(f.params, math.Sqrt(dmin2))
+			lo += cnt * gainAt(f.params, math.Sqrt(dmax2))
+		}
+	}
+	return hi, lo
+}
+
+// rectRectDist2 returns the squared minimum and maximum distances between
+// the axis-aligned rectangles [ax0,ax1]×[ay0,ay1] and [bx0,bx1]×[by0,by1].
+func rectRectDist2(ax0, ay0, ax1, ay1, bx0, by0, bx1, by1 float64) (dmin2, dmax2 float64) {
+	var dx, dy float64
+	if bx0 > ax1 {
+		dx = bx0 - ax1
+	} else if ax0 > bx1 {
+		dx = ax0 - bx1
+	}
+	if by0 > ay1 {
+		dy = by0 - ay1
+	} else if ay0 > by1 {
+		dy = ay0 - by1
+	}
+	mx := math.Max(bx1-ax0, ax1-bx0)
+	my := math.Max(by1-ay0, ay1-by0)
+	return dx*dx + dy*dy, mx*mx + my*my
+}
+
+// gainFromDist2 is the received-power formula on a squared distance — the
+// hot-path variant that skips Hypot. Equal to gainAt(p, √d2) up to ULPs.
+func gainFromDist2(p Params, d2 float64) float64 {
+	switch p.Alpha {
+	case 3:
+		return p.Power / (d2 * math.Sqrt(d2))
+	case 4:
+		return p.Power / (d2 * d2)
+	}
+	return gainAt(p, math.Sqrt(d2))
+}
+
+// exactCheck replicates the dense engine's per-listener loop term for term:
+// full scan over the transmitter slice in order, strict-max sender choice.
+func (f *SparseField) exactCheck(u int, txs []int) (int, bool) {
+	p := f.pos[u]
+	var total, best float64
+	bestV := -1
+	for _, v := range txs {
+		if v == u {
+			continue
+		}
+		g := gainAt(f.params, geom.Dist(f.pos[v], p))
+		total += g
+		if g > best {
+			best = g
+			bestV = v
+		}
+	}
+	if bestV >= 0 && best >= f.params.Beta*(f.params.Noise+total-best) {
+		return bestV, true
+	}
+	return -1, false
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# bench.sh — run the short benchmark suite once and emit BENCH_PR.json,
+# the per-PR performance snapshot consumed by the CI bench job.
+#
+# Usage: scripts/bench.sh [output.json]
+#
+# Each benchmark runs with -benchtime=1x: the point is a cheap, always-on
+# trajectory of every hot path (engine Deliver, selector membership, the
+# experiment kernels), not a statistically tight measurement. Compare
+# BENCH_PR.json across PRs to spot order-of-magnitude regressions.
+set -euo pipefail
+
+out="${1:-BENCH_PR.json}"
+cd "$(dirname "$0")/.."
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -bench=. -benchtime=1x -run='^$' ./... | tee "$raw"
+
+# Convert `BenchmarkName-8  1  12345 ns/op [extra metrics]` lines to JSON.
+awk '
+BEGIN { print "{"; print "  \"benchmarks\": [" ; first = 1 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    iters = $2; ns = $3
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
+    # trailing custom metrics come in value/unit pairs after "ns/op"
+    for (i = 5; i + 1 <= NF; i += 2) {
+        unit = $(i + 1); gsub(/[^a-zA-Z0-9_\/]/, "_", unit); gsub(/\//, "_per_", unit)
+        printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+}
+END { print "\n  ]"; print "}" }
+' "$raw" > "$out"
+
+echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)"
