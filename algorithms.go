@@ -1,11 +1,15 @@
+// Legacy blocking entry points, kept as thin wrappers over Run so existing
+// callers compile unchanged and produce identical results. New code should
+// prefer Run, which adds context cancellation, round budgets and observers.
+
 package dcluster
 
 import (
+	"context"
 	"fmt"
 
 	"dcluster/internal/analysis"
 	"dcluster/internal/broadcast"
-	"dcluster/internal/core"
 	"dcluster/internal/geom"
 	"dcluster/internal/sim"
 )
@@ -44,23 +48,14 @@ func (r *ClusterResult) NumClusters() int { return len(r.Center) }
 // Cluster runs the deterministic distributed clustering (Alg. 6,
 // Theorem 1): every node ends in a cluster of radius ≤ 1, cluster centres
 // are pairwise ≥ 1−ε apart, and every unit ball meets O(1) clusters.
+//
+// Cluster is the legacy blocking form of Run(ctx, Clustering()).
 func (n *Network) Cluster() (*ClusterResult, error) {
-	env, err := n.env()
+	res, err := n.Run(context.Background(), Clustering())
 	if err != nil {
 		return nil, err
 	}
-	a, err := core.Cluster(env, core.ClusterInput{
-		Cfg:   n.cfg,
-		Nodes: n.allNodes(),
-		Gamma: n.Density(),
-	})
-	if err != nil {
-		return nil, err
-	}
-	if err := n.validateClustering(a.ClusterOf, a.Center, 1.0); err != nil {
-		return nil, fmt.Errorf("dcluster: clustering failed validation: %w", err)
-	}
-	return &ClusterResult{ClusterOf: a.ClusterOf, Center: a.Center, Stats: statsOf(env)}, nil
+	return res.Cluster, nil
 }
 
 // LocalBroadcastResult is the output of LocalBroadcast (Theorem 2).
@@ -90,25 +85,15 @@ func (r *LocalBroadcastResult) Complete(n *Network) bool {
 
 // LocalBroadcast runs Algorithm 7 (Theorem 2): every node delivers its
 // message to all communication-graph neighbours in O(∆·log N·log*N) rounds.
+//
+// LocalBroadcast is the legacy blocking form of Run with the package-level
+// LocalBroadcast task.
 func (n *Network) LocalBroadcast() (*LocalBroadcastResult, error) {
-	env, err := n.env()
+	res, err := n.Run(context.Background(), LocalBroadcast())
 	if err != nil {
 		return nil, err
 	}
-	res, err := broadcast.Local(env, broadcast.LocalInput{
-		Cfg:   n.cfg,
-		Nodes: n.allNodes(),
-		Delta: n.Density(),
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &LocalBroadcastResult{
-		Clustering: &ClusterResult{ClusterOf: res.Assignment.ClusterOf, Center: res.Assignment.Center},
-		Label:      res.Label,
-		Heard:      res.Heard,
-		Stats:      statsOf(env),
-	}, nil
+	return res.Local, nil
 }
 
 // GlobalBroadcastResult is the output of global broadcast (Theorem 3).
@@ -137,34 +122,24 @@ func (r *GlobalBroadcastResult) Coverage() float64 {
 
 // GlobalBroadcast runs Algorithm 8 from a single source (Theorem 3):
 // O(D·(∆+log*N)·log N) rounds.
+//
+// GlobalBroadcast is the legacy blocking form of Run with the package-level
+// GlobalBroadcast task.
 func (n *Network) GlobalBroadcast(source int) (*GlobalBroadcastResult, error) {
 	return n.MultiSourceBroadcast([]int{source})
 }
 
 // MultiSourceBroadcast runs the sparse multiple-source broadcast: sources
 // must be pairwise farther than 1−ε apart.
+//
+// MultiSourceBroadcast is the legacy blocking form of Run with the
+// package-level MultiSourceBroadcast task.
 func (n *Network) MultiSourceBroadcast(sources []int) (*GlobalBroadcastResult, error) {
-	env, err := n.env()
+	res, err := n.Run(context.Background(), MultiSourceBroadcast(sources))
 	if err != nil {
 		return nil, err
 	}
-	if err := broadcast.ValidateSourcesSparse(env, sources); err != nil {
-		return nil, err
-	}
-	res, err := broadcast.Global(env, broadcast.GlobalInput{
-		Cfg:     n.cfg,
-		Sources: sources,
-		Delta:   n.Density(),
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &GlobalBroadcastResult{
-		AwakePhase: res.AwakeAtPhase,
-		AwakeRound: res.AwakeRound,
-		PhaseTrace: res.Phases,
-		Stats:      statsOf(env),
-	}, nil
+	return res.Broadcast, nil
 }
 
 // LeaderResult is the output of leader election (Theorem 5).
@@ -181,25 +156,14 @@ type LeaderResult struct {
 // ElectLeader runs the Theorem 5 protocol: clustering condenses the network
 // to its centres; binary search over the ID space elects the minimum-ID
 // centre in O(D·(∆+log*N)·log²N) rounds.
+//
+// ElectLeader is the legacy blocking form of Run(ctx, ElectLeader()).
 func (n *Network) ElectLeader() (*LeaderResult, error) {
-	env, err := n.env()
+	res, err := n.Run(context.Background(), ElectLeader())
 	if err != nil {
 		return nil, err
 	}
-	res, err := broadcast.Leader(env, broadcast.LeaderInput{
-		Cfg:   n.cfg,
-		Nodes: n.allNodes(),
-		Delta: n.Density(),
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &LeaderResult{
-		Leader:   res.Leader,
-		LeaderID: res.LeaderID,
-		Probes:   res.Probes,
-		Stats:    statsOf(env),
-	}, nil
+	return res.Leader, nil
 }
 
 // WakeUpResult is the output of the wake-up protocol (Theorem 4).
@@ -215,20 +179,15 @@ type WakeUpResult struct {
 // WakeUp runs the Theorem 4 protocol: spontaneousAt[i] is the round node i
 // wakes spontaneously (-1 = only by message). All nodes are activated in
 // O(D·(∆+log*N)·log N) rounds after the first spontaneous wake-up.
+//
+// WakeUp is the legacy blocking form of Run with the package-level WakeUp
+// task.
 func (n *Network) WakeUp(spontaneousAt []int64) (*WakeUpResult, error) {
-	env, err := n.env()
+	res, err := n.Run(context.Background(), WakeUp(spontaneousAt))
 	if err != nil {
 		return nil, err
 	}
-	res, err := broadcast.WakeUp(env, broadcast.WakeUpInput{
-		Cfg:           n.cfg,
-		SpontaneousAt: spontaneousAt,
-		Delta:         n.Density(),
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &WakeUpResult{AwakeRound: res.AwakeRound, Epochs: res.Epochs, Stats: statsOf(env)}, nil
+	return res.Wake, nil
 }
 
 // ClusterStats summarises a clustering for reporting: sizes, max radius,

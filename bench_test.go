@@ -9,6 +9,7 @@ package dcluster
 // Run: go test -bench=. -benchmem .
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -16,6 +17,7 @@ import (
 
 	"dcluster/internal/baselines"
 	"dcluster/internal/config"
+	"dcluster/internal/core"
 	"dcluster/internal/geom"
 	"dcluster/internal/lowerbound"
 	"dcluster/internal/selectors"
@@ -445,4 +447,52 @@ func BenchmarkSelectorMembership(b *testing.B) {
 		sink = w.ContainsPair(i%w.Len(), i%1000+1, i%50+1)
 	}
 	_ = sink
+}
+
+// BenchmarkRunOverhead tracks the cost of the Run session layer (observer
+// off) against the pre-redesign execution path: "legacy" drives the shared
+// engine and core.Cluster directly, exactly as the old blocking methods
+// did, bypassing Run entirely; "run" goes through the session API (engine
+// session acquisition, env construction, abort guard). Any delta between
+// the two is the per-run overhead of the redesign. The Network is reused
+// across iterations — the production pattern the session pool optimises.
+func BenchmarkRunOverhead(b *testing.B) {
+	pts := benchDisk(32, 4)
+	net, err := NewNetwork(pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("legacy", func(b *testing.B) {
+		var rounds int64
+		for i := 0; i < b.N; i++ {
+			env, err := sim.NewEnv(net.field, net.ids, net.idcap)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a, err := core.Cluster(env, core.ClusterInput{
+				Cfg:   net.cfg,
+				Nodes: net.allNodes(),
+				Gamma: net.Density(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := net.validateClustering(a.ClusterOf, a.Center, 1.0); err != nil {
+				b.Fatal(err)
+			}
+			rounds = env.Stats().Rounds
+		}
+		b.ReportMetric(float64(rounds), "rounds")
+	})
+	b.Run("run", func(b *testing.B) {
+		var rounds int64
+		for i := 0; i < b.N; i++ {
+			res, err := net.Run(context.Background(), Clustering())
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds = res.Stats.Rounds
+		}
+		b.ReportMetric(float64(rounds), "rounds")
+	})
 }

@@ -17,9 +17,16 @@
 // (8·n² gain matrix, fastest at small n), sparse (grid-bucketed, linear
 // memory, parallel delivery — required beyond a few thousand nodes), or
 // auto (dense < 4096 nodes, sparse above).
+//
+// Long runs can be bounded: -timeout aborts via context cancellation,
+// -max-rounds imposes a deterministic round budget (both report the partial
+// statistics), and -progress N prints a live rounds/deliveries line to
+// stderr every N rounds via the execution observer.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -49,16 +56,19 @@ var presets = map[string]preset{
 
 func main() {
 	var (
-		algo     = flag.String("algo", "cluster", "algorithm: cluster | local | global | leader | wakeup | stats")
-		topology = flag.String("topology", "disk", "topology: disk | square | strip | clumps | line | grid")
-		n        = flag.Int("n", 64, "number of nodes")
-		radius   = flag.Float64("radius", 0, "disk radius / square side (0 = auto-scale with n)")
-		length   = flag.Float64("length", 8, "strip length")
-		seed     = flag.Int64("seed", 1, "topology seed")
-		source   = flag.Int("source", 0, "source node for global broadcast")
-		engine   = flag.String("engine", "auto", "SINR engine: dense | sparse | auto")
-		presetF  = flag.String("preset", "", "scale preset: small | medium | large | huge | city (overrides -topology/-n/-radius)")
-		quiet    = flag.Bool("q", false, "print only the result line")
+		algo      = flag.String("algo", "cluster", "algorithm: cluster | local | global | leader | wakeup | stats")
+		topology  = flag.String("topology", "disk", "topology: disk | square | strip | clumps | line | grid")
+		n         = flag.Int("n", 64, "number of nodes")
+		radius    = flag.Float64("radius", 0, "disk radius / square side (0 = auto-scale with n)")
+		length    = flag.Float64("length", 8, "strip length")
+		seed      = flag.Int64("seed", 1, "topology seed")
+		source    = flag.Int("source", 0, "source node for global broadcast")
+		engine    = flag.String("engine", "auto", "SINR engine: dense | sparse | auto")
+		presetF   = flag.String("preset", "", "scale preset: small | medium | large | huge | city (overrides -topology/-n/-radius)")
+		quiet     = flag.Bool("q", false, "print only the result line")
+		timeout   = flag.Duration("timeout", 0, "wall-clock limit for the run (0 = none)")
+		maxRounds = flag.Int64("max-rounds", 0, "deterministic round budget (0 = unlimited)")
+		progress  = flag.Int64("progress", 0, "print a live progress line to stderr every N rounds (0 = off)")
 	)
 	flag.Parse()
 
@@ -89,6 +99,37 @@ func main() {
 		printStats()
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var opts []dcluster.RunOption
+	if *maxRounds > 0 {
+		opts = append(opts, dcluster.WithMaxRounds(*maxRounds))
+	}
+	var prog *progressLine
+	if *progress > 0 {
+		prog = &progressLine{every: *progress}
+		opts = append(opts, dcluster.WithObserver(prog))
+	}
+	run := func(task dcluster.Task) *dcluster.Result {
+		res, err := net.Run(ctx, task, opts...)
+		if prog != nil {
+			prog.done()
+		}
+		if err != nil {
+			if res != nil && (errors.Is(err, dcluster.ErrRoundBudget) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+				fmt.Printf("%s aborted: %v (rounds=%d transmissions=%d deliveries=%d)\n",
+					task.Name(), err, res.Stats.Rounds, res.Stats.Transmissions, res.Stats.Deliveries)
+				os.Exit(3)
+			}
+			fatal(err)
+		}
+		return res
+	}
+
 	switch *algo {
 	case "stats":
 		// Topology-only mode: the structural line above is the output (with
@@ -97,55 +138,73 @@ func main() {
 			printStats()
 		}
 	case "cluster":
-		res, err := net.Cluster()
-		if err != nil {
-			fatal(err)
-		}
+		res := run(dcluster.Clustering())
 		fmt.Printf("cluster: clusters=%d rounds=%d transmissions=%d maxNodeTx=%d\n",
-			res.NumClusters(), res.Stats.Rounds, res.Stats.Transmissions, res.Stats.MaxNodeTx)
+			res.Cluster.NumClusters(), res.Stats.Rounds, res.Stats.Transmissions, res.Stats.MaxNodeTx)
 		if !*quiet {
-			fmt.Println("stats:", net.ClusterStats(res))
+			fmt.Println("stats:", net.ClusterStats(res.Cluster))
 		}
 	case "local":
-		res, err := net.LocalBroadcast()
-		if err != nil {
-			fatal(err)
-		}
+		res := run(dcluster.LocalBroadcast())
 		fmt.Printf("local-broadcast: complete=%v rounds=%d transmissions=%d\n",
-			res.Complete(net), res.Stats.Rounds, res.Stats.Transmissions)
+			res.Local.Complete(net), res.Stats.Rounds, res.Stats.Transmissions)
 	case "global":
-		res, err := net.GlobalBroadcast(*source)
-		if err != nil {
-			fatal(err)
-		}
+		res := run(dcluster.GlobalBroadcast(*source))
 		fmt.Printf("global-broadcast: coverage=%.2f phases=%d rounds=%d\n",
-			res.Coverage(), len(res.PhaseTrace), res.Stats.Rounds)
+			res.Broadcast.Coverage(), len(res.Broadcast.PhaseTrace), res.Stats.Rounds)
 	case "leader":
-		res, err := net.ElectLeader()
-		if err != nil {
-			fatal(err)
-		}
+		res := run(dcluster.ElectLeader())
 		fmt.Printf("leader: node=%d id=%d probes=%d rounds=%d\n",
-			res.Leader, res.LeaderID, res.Probes, res.Stats.Rounds)
+			res.Leader.Leader, res.Leader.LeaderID, res.Leader.Probes, res.Stats.Rounds)
 	case "wakeup":
 		spont := make([]int64, net.Len())
 		for i := range spont {
 			spont[i] = -1
 		}
 		spont[*source] = 0
-		res, err := net.WakeUp(spont)
-		if err != nil {
-			fatal(err)
-		}
+		res := run(dcluster.WakeUp(spont))
 		all := true
-		for _, r := range res.AwakeRound {
+		for _, r := range res.Wake.AwakeRound {
 			if r < 0 {
 				all = false
 			}
 		}
-		fmt.Printf("wakeup: all-awake=%v epochs=%d rounds=%d\n", all, res.Epochs, res.Stats.Rounds)
+		fmt.Printf("wakeup: all-awake=%v epochs=%d rounds=%d\n", all, res.Wake.Epochs, res.Stats.Rounds)
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+}
+
+// progressLine is the -progress observer: a live rounds/deliveries line on
+// stderr, cleared before phase marks and the final result line.
+type progressLine struct {
+	every      int64
+	deliveries int64
+	active     bool
+}
+
+// OnRound implements dcluster.Observer.
+func (p *progressLine) OnRound(round int64, _, deliveries int) {
+	p.deliveries += int64(deliveries)
+	if round%p.every == 0 {
+		fmt.Fprintf(os.Stderr, "\rround %-12d deliveries %-12d", round, p.deliveries)
+		p.active = true
+	}
+}
+
+// OnPhase implements dcluster.Observer.
+func (p *progressLine) OnPhase(label string, round int64) {
+	p.clear()
+	fmt.Fprintf(os.Stderr, "phase %s @ round %d\n", label, round)
+}
+
+// done clears any in-flight progress line once the run finishes.
+func (p *progressLine) done() { p.clear() }
+
+func (p *progressLine) clear() {
+	if p.active {
+		fmt.Fprintf(os.Stderr, "\r%-50s\r", "")
+		p.active = false
 	}
 }
 

@@ -24,7 +24,8 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := exp.SetEngine(*engine); err != nil {
+	kind, err := exp.ParseEngine(*engine)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
 	}
@@ -34,7 +35,7 @@ func main() {
 		size = exp.Full
 	}
 
-	runners := map[string]func(exp.Size) (string, error){
+	runners := map[string]func(exp.Size, exp.Engine) (string, error){
 		"table1":     exp.Table1,
 		"table2":     exp.Table2,
 		"fig1":       exp.Fig1,
@@ -59,7 +60,7 @@ func main() {
 	}
 
 	for _, name := range names {
-		out, err := runners[name](size)
+		out, err := runners[name](size, kind)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
 			os.Exit(1)

@@ -25,13 +25,40 @@
 // Both produce identical reception sets; EngineAuto (the default) picks
 // dense below 4096 nodes and sparse above.
 //
-// Quick start:
+// # Execution model
+//
+// Every algorithm is a Task executed by Network.Run as one fresh
+// synchronous execution:
 //
 //	pts := dcluster.UniformDisk(100, 3, 42)
 //	net, err := dcluster.NewNetwork(pts)
 //	if err != nil { ... }
-//	res, err := net.Cluster()
-//	// res.ClusterOf[i] is node i's cluster; res.Rounds the SINR round cost.
+//	res, err := net.Run(ctx, dcluster.Clustering())
+//	// res.Cluster.ClusterOf[i] is node i's cluster;
+//	// res.Stats.Rounds the SINR round cost.
+//
+// The available tasks mirror the paper's theorems: Clustering (Thm 1),
+// LocalBroadcast (Thm 2), GlobalBroadcast / MultiSourceBroadcast (Thm 3),
+// WakeUp (Thm 4) and ElectLeader (Thm 5).
+//
+// Run accepts a context (cancellation is checked at round boundaries), a
+// deterministic round budget (WithMaxRounds, typed ErrRoundBudget with
+// partial Stats on exhaustion) and an Observer (WithObserver, per-round and
+// per-phase callbacks):
+//
+//	res, err := net.Run(ctx, dcluster.GlobalBroadcast(0),
+//		dcluster.WithMaxRounds(100_000),
+//		dcluster.WithObserver(dcluster.ObserverFuncs{
+//			Round: func(round int64, tx, deliveries int) { ... },
+//		}))
+//
+// A Network is safe for concurrent Run calls: the engine's model data is
+// shared immutably, and each run borrows a pooled per-run engine session.
+//
+// The legacy blocking methods — net.Cluster(), net.LocalBroadcast(),
+// net.GlobalBroadcast(src), net.MultiSourceBroadcast(srcs), net.WakeUp(...),
+// net.ElectLeader() — remain as thin wrappers over Run and produce
+// identical results; new code should call Run directly.
 //
 // For large instances, force the sparse engine:
 //
@@ -40,6 +67,7 @@ package dcluster
 
 import (
 	"fmt"
+	"sync"
 
 	"dcluster/internal/analysis"
 	"dcluster/internal/config"
@@ -109,7 +137,9 @@ const SparseAutoThreshold = 4096
 // Network is a static wireless network instance: node positions, the SINR
 // engine, protocol configuration and ID assignment. All algorithm entry
 // points run on a fresh synchronous execution and report their own round
-// costs; the Network itself is immutable and safe to reuse sequentially.
+// costs. The Network itself is immutable after construction and safe for
+// concurrent Run calls: the engine's model data is shared, while each run
+// borrows a per-run engine session from an internal pool.
 type Network struct {
 	pts    []Point
 	params Params
@@ -118,6 +148,10 @@ type Network struct {
 	field  sinr.Engine
 	ids    []int
 	idcap  int
+
+	sessions    sync.Pool // per-run engine sessions (sinr.Engine)
+	densityOnce sync.Once
+	density     int
 }
 
 // Option customises NewNetwork.
@@ -129,12 +163,26 @@ func WithParams(p Params) Option { return func(n *Network) { n.params = p } }
 // WithConfig overrides the protocol constants.
 func WithConfig(c Config) Option { return func(n *Network) { n.cfg = c } }
 
-// WithIDs assigns explicit protocol IDs (unique, in [1..idBound]).
+// WithIDs assigns explicit protocol IDs (unique, in [1..idBound]). The
+// assignment is validated by NewNetwork, which fails fast on duplicate or
+// out-of-range IDs instead of deferring the error to the first run.
 func WithIDs(ids []int, idBound int) Option {
 	return func(n *Network) {
-		n.ids = ids
+		n.ids = append([]int(nil), ids...)
 		n.idcap = idBound
 	}
+}
+
+// validateIDs checks the WithIDs assignment (length, range, uniqueness)
+// against the same validator every run's environment applies.
+func (n *Network) validateIDs() error {
+	if n.ids == nil {
+		return nil
+	}
+	if _, err := sim.ValidateIDs(n.ids, len(n.pts), n.idcap); err != nil {
+		return fmt.Errorf("dcluster: invalid WithIDs assignment: %w", err)
+	}
+	return nil
 }
 
 // WithEngine selects the physical-layer engine (EngineAuto, EngineDense or
@@ -159,6 +207,9 @@ func NewNetwork(pts []Point, opts ...Option) (*Network, error) {
 		return nil, err
 	}
 	if err := n.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := n.validateIDs(); err != nil {
 		return nil, err
 	}
 	kind := n.engine
@@ -193,10 +244,18 @@ func NewNetwork(pts []Point, opts ...Option) (*Network, error) {
 // EngineAuto).
 func (n *Network) Engine() EngineKind { return n.engine }
 
-// env creates a fresh synchronous execution over the shared field.
-func (n *Network) env() (*sim.Env, error) {
-	return sim.NewEnv(n.field, n.ids, n.idcap)
+// acquireEngine borrows a per-run engine session from the pool (creating
+// one if none is idle). Sessions share the immutable model data but own
+// their per-round scratch, so concurrent runs never contend.
+func (n *Network) acquireEngine() sinr.Engine {
+	if v := n.sessions.Get(); v != nil {
+		return v.(sinr.Engine)
+	}
+	return n.field.Session()
 }
+
+// releaseEngine returns a session to the pool for reuse by later runs.
+func (n *Network) releaseEngine(e sinr.Engine) { n.sessions.Put(e) }
 
 // Len returns the number of nodes.
 func (n *Network) Len() int { return len(n.pts) }
@@ -208,8 +267,12 @@ func (n *Network) Positions() []Point { return append([]Point(nil), n.pts...) }
 func (n *Network) Params() Params { return n.params }
 
 // Density returns the network density Γ: the maximum number of nodes in a
-// unit ball (node-centred).
-func (n *Network) Density() int { return geom.Density(n.pts, 1) }
+// unit ball (node-centred). The value is computed once and cached (the
+// positions are immutable), so repeated and concurrent runs share it.
+func (n *Network) Density() int {
+	n.densityOnce.Do(func() { n.density = geom.Density(n.pts, 1) })
+	return n.density
+}
 
 // MaxDegree returns the maximum degree of the communication graph.
 func (n *Network) MaxDegree() int { return geom.MaxDegree(n.pts, n.params.GraphRadius()) }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -21,10 +22,14 @@ func main() {
 	}
 	fmt.Printf("pipeline strip: n=%d D=%d ∆=%d\n\n", net.Len(), net.Diameter(), net.Density())
 
-	res, err := net.GlobalBroadcast(0)
+	// A round budget turns a runaway broadcast into a typed error instead
+	// of a hung process; 10M rounds is far above the Theorem 3 bound here.
+	run, err := net.Run(context.Background(), dcluster.GlobalBroadcast(0),
+		dcluster.WithMaxRounds(10_000_000))
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := run.Broadcast
 
 	fmt.Println("phase | awake-before | newly-awake | clusters | rounds")
 	for _, p := range res.PhaseTrace {
@@ -33,7 +38,7 @@ func main() {
 			p.Phase, p.AwakeBefore, p.NewlyAwake, p.Clusters, p.Rounds, bar)
 	}
 	fmt.Printf("\ncoverage: %.0f%% in %d rounds across %d phases\n",
-		100*res.Coverage(), res.Stats.Rounds, len(res.PhaseTrace))
+		100*res.Coverage(), run.Stats.Rounds, len(res.PhaseTrace))
 
 	// Hop distance vs wake phase: the broadcast front advances ≥ 1 hop per
 	// phase (the Theorem 3 argument).

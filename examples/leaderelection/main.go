@@ -1,9 +1,11 @@
 // Leaderelection: bootstrap coordination in a freshly deployed network —
 // wake the network from a single spontaneous node (Theorem 4), then elect
-// a unique leader by binary search over the ID space (Theorem 5).
+// a unique leader by binary search over the ID space (Theorem 5), watching
+// the election's phase structure through a Run observer.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,10 +30,11 @@ func main() {
 		spont[i] = -1
 	}
 	spont[7] = 100
-	wake, err := net.WakeUp(spont)
+	wrun, err := net.Run(context.Background(), dcluster.WakeUp(spont))
 	if err != nil {
 		log.Fatal(err)
 	}
+	wake := wrun.Wake
 	awake := 0
 	for _, r := range wake.AwakeRound {
 		if r >= 0 {
@@ -39,13 +42,20 @@ func main() {
 		}
 	}
 	fmt.Printf("wake-up (Thm 4): %d/%d nodes active after %d rounds (%d epochs)\n",
-		awake, net.Len(), wake.Stats.Rounds, wake.Epochs)
+		awake, net.Len(), wrun.Stats.Rounds, wake.Epochs)
 
-	// Leader election over the whole (now active) network.
-	leader, err := net.ElectLeader()
+	// Leader election over the whole (now active) network, with an observer
+	// printing the protocol's phase transitions as they happen.
+	lrun, err := net.Run(context.Background(), dcluster.ElectLeader(),
+		dcluster.WithObserver(dcluster.ObserverFuncs{
+			Phase: func(label string, round int64) {
+				fmt.Printf("  phase %-22s @ round %d\n", label, round)
+			},
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
+	leader := lrun.Leader
 	fmt.Printf("leader (Thm 5): node %d (ID %d) elected with %d binary-search probes in %d rounds\n",
-		leader.Leader, leader.LeaderID, leader.Probes, leader.Stats.Rounds)
+		leader.Leader, leader.LeaderID, leader.Probes, lrun.Stats.Rounds)
 }

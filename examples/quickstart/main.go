@@ -1,8 +1,10 @@
 // Quickstart: build a random ad hoc network, run the deterministic
-// clustering of Theorem 1, and inspect the result.
+// clustering of Theorem 1 through the Run session API, and inspect the
+// result.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,12 +22,16 @@ func main() {
 	fmt.Printf("network: n=%d density=%d maxdeg=%d diameter=%d connected=%v\n",
 		net.Len(), net.Density(), net.MaxDegree(), net.Diameter(), net.Connected())
 
-	res, err := net.Cluster()
+	// Run executes one task as a fresh synchronous execution; the context
+	// could carry a timeout, and WithMaxRounds/WithObserver bound and watch
+	// long runs (see the leaderelection example).
+	run, err := net.Run(context.Background(), dcluster.Clustering())
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := run.Cluster
 	fmt.Printf("clustering: %d clusters in %d SINR rounds (%d transmissions)\n",
-		res.NumClusters(), res.Stats.Rounds, res.Stats.Transmissions)
+		res.NumClusters(), run.Stats.Rounds, run.Stats.Transmissions)
 
 	// The paper's guarantees, re-checked:
 	if err := net.ValidateClustering(res); err != nil {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,11 +26,11 @@ func main() {
 	fmt.Printf("sensor field: n=%d density=%d maxdeg=%d\n", net.Len(), net.Density(), net.MaxDegree())
 
 	// Deterministic local broadcast (no randomness, no GPS, no sensing).
-	res, err := net.LocalBroadcast()
+	run, err := net.Run(context.Background(), dcluster.LocalBroadcast())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("deterministic (Alg. 7): complete=%v rounds=%d\n", res.Complete(net), res.Stats.Rounds)
+	fmt.Printf("deterministic (Alg. 7): complete=%v rounds=%d\n", run.Local.Complete(net), run.Stats.Rounds)
 
 	// Randomized baseline with known ∆ [16].
 	f, err := sinr.NewField(sinr.DefaultParams(), pts)

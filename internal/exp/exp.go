@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -39,42 +40,38 @@ func DiskForDensity(n, delta int, seed int64) []geom.Point {
 	return geom.UniformDisk(n, r, seed)
 }
 
-// engineKind selects the physical-layer engine backing every experiment
-// environment; see SetEngine.
-var engineKind = "dense"
+// Engine selects the physical-layer engine backing every experiment
+// environment. It is threaded explicitly through every runner (no mutable
+// package state); cmd/experiments parses the -engine flag with ParseEngine.
+type Engine = dcluster.EngineKind
 
-// SetEngine switches the experiment runners to the given SINR engine
-// ("dense" or "sparse"). cmd/experiments exposes this as -engine.
-func SetEngine(kind string) error {
-	switch kind {
-	case "dense", "sparse":
-		engineKind = kind
-		return nil
+// ParseEngine validates an -engine flag value for the experiment runners
+// (only the two concrete engines are meaningful here, not auto).
+func ParseEngine(kind string) (Engine, error) {
+	switch Engine(kind) {
+	case dcluster.EngineDense, dcluster.EngineSparse:
+		return Engine(kind), nil
 	default:
-		return fmt.Errorf("exp: unknown engine %q", kind)
+		return "", fmt.Errorf("exp: unknown engine %q", kind)
 	}
 }
 
-// newField builds the configured engine over pts.
-func newField(pts []geom.Point) (sinr.Engine, error) {
-	if engineKind == "sparse" {
+// newField builds the given engine over pts.
+func newField(pts []geom.Point, engine Engine) (sinr.Engine, error) {
+	if engine == dcluster.EngineSparse {
 		return sinr.NewSparseField(sinr.DefaultParams(), pts)
 	}
 	return sinr.NewField(sinr.DefaultParams(), pts)
 }
 
-// newNetwork is dcluster.NewNetwork pinned to the configured engine, so
-// every runner (not just the raw-env baselines) honours SetEngine.
-func newNetwork(pts []geom.Point) (*dcluster.Network, error) {
-	kind := dcluster.EngineDense
-	if engineKind == "sparse" {
-		kind = dcluster.EngineSparse
-	}
-	return dcluster.NewNetwork(pts, dcluster.WithEngine(kind))
+// newNetwork is dcluster.NewNetwork pinned to the given engine, so every
+// runner (not just the raw-env baselines) honours the -engine flag.
+func newNetwork(pts []geom.Point, engine Engine) (*dcluster.Network, error) {
+	return dcluster.NewNetwork(pts, dcluster.WithEngine(engine))
 }
 
-func newEnv(pts []geom.Point) (*sim.Env, error) {
-	f, err := newField(pts)
+func newEnv(pts []geom.Point, engine Engine) (*sim.Env, error) {
+	f, err := newField(pts, engine)
 	if err != nil {
 		return nil, err
 	}
@@ -84,8 +81,8 @@ func newEnv(pts []geom.Point) (*sim.Env, error) {
 // newEnvPermuted builds an env with a random ID permutation (so that
 // ID order does not accidentally align with the topology, which would
 // flatter the round-robin baseline).
-func newEnvPermuted(pts []geom.Point, seed int64) (*sim.Env, error) {
-	f, err := newField(pts)
+func newEnvPermuted(pts []geom.Point, seed int64, engine Engine) (*sim.Env, error) {
+	f, err := newField(pts, engine)
 	if err != nil {
 		return nil, err
 	}
@@ -106,7 +103,7 @@ func seqNodes(n int) []int {
 
 // Table1 reproduces the local-broadcast comparison: measured rounds to
 // complete local broadcast for each algorithm across a density sweep.
-func Table1(size Size) (string, error) {
+func Table1(size Size, engine Engine) (string, error) {
 	ns := []int{64}
 	deltas := []int{4, 8, 16}
 	if size == Full {
@@ -123,39 +120,40 @@ func Table1(size Size) (string, error) {
 			pts := DiskForDensity(n, delta, 7)
 			real := geom.Density(pts, 1)
 
-			envA, err := newEnv(pts)
+			envA, err := newEnv(pts, engine)
 			if err != nil {
 				return "", err
 			}
 			known := baselines.RandLocalKnownDelta(envA, seqNodes(n), real, 6, 42)
 
-			envB, _ := newEnv(pts)
+			envB, _ := newEnv(pts, engine)
 			sweep := baselines.RandLocalSweep(envB, seqNodes(n), 3, 42)
 
-			envC, _ := newEnv(pts)
+			envC, _ := newEnv(pts, engine)
 			fb := baselines.FeedbackLocal(envC, seqNodes(n), 1_000_000, 42)
 
-			envD, _ := newEnv(pts)
+			envD, _ := newEnv(pts, engine)
 			grid, err := baselines.GridLocal(envD, seqNodes(n), real, 4, 1, 42)
 			if err != nil {
 				return "", err
 			}
 
-			net, err := newNetwork(pts)
+			net, err := newNetwork(pts, engine)
 			if err != nil {
 				return "", err
 			}
-			ours, err := net.LocalBroadcast()
+			res, err := net.Run(context.Background(), dcluster.LocalBroadcast())
 			if err != nil {
 				return "", err
 			}
+			ours := res.Local
 			if !ours.Complete(net) {
 				return "", fmt.Errorf("exp: our local broadcast incomplete on n=%d ∆=%d", n, delta)
 			}
 			fmt.Fprintf(&b, "%6d %6d %6d | %12s %12s %12s %12s %12d\n",
 				n, delta, real,
 				fmtCompletion(known), fmtCompletion(sweep), fmtCompletion(fb), fmtCompletion(grid),
-				ours.Stats.Rounds)
+				res.Stats.Rounds)
 		}
 	}
 	b.WriteString("\nnote: randomized columns report completion round (oracle-observed); ours reports the full deterministic schedule length.\n")
@@ -170,7 +168,7 @@ func fmtCompletion(r *baselines.LocalResult) string {
 }
 
 // Table2 reproduces the global-broadcast comparison on multi-hop strips.
-func Table2(size Size) (string, error) {
+func Table2(size Size, engine Engine) (string, error) {
 	type inst struct{ n, length int }
 	insts := []inst{{40, 5}, {60, 8}}
 	if size == Full {
@@ -186,38 +184,39 @@ func Table2(size Size) (string, error) {
 		delta := geom.Density(pts, 1)
 		diam := geom.Diameter(pts, 0.75)
 
-		envA, err := newEnv(pts)
+		envA, err := newEnv(pts, engine)
 		if err != nil {
 			return "", err
 		}
 		decay := baselines.DecayGlobal(envA, 0, delta, 5_000_000, 42)
 
-		envB, _ := newEnv(pts)
+		envB, _ := newEnv(pts, engine)
 		gdecay, err := baselines.GridDecayGlobal(envB, 0, delta, 3, 5_000_000, 42)
 		if err != nil {
 			return "", err
 		}
 
-		envC, err := newEnvPermuted(pts, 99)
+		envC, err := newEnvPermuted(pts, 99, engine)
 		if err != nil {
 			return "", err
 		}
 		rr := baselines.RoundRobinGlobal(envC, 0, 5_000_000)
 
-		net, err := newNetwork(pts)
+		net, err := newNetwork(pts, engine)
 		if err != nil {
 			return "", err
 		}
-		ours, err := net.GlobalBroadcast(0)
+		res, err := net.Run(context.Background(), dcluster.GlobalBroadcast(0))
 		if err != nil {
 			return "", err
 		}
+		ours := res.Broadcast
 		if ours.Coverage() < 1 {
 			return "", fmt.Errorf("exp: our global broadcast covered %.2f on n=%d", ours.Coverage(), in.n)
 		}
 		fmt.Fprintf(&b, "%5d %4d %4d %4s | %12d %12d %12d %12d\n",
 			in.n, diam, delta, "",
-			decay.Rounds, gdecay.Rounds, rr.Rounds, ours.Stats.Rounds)
+			decay.Rounds, gdecay.Rounds, rr.Rounds, res.Stats.Rounds)
 	}
 	b.WriteString("\nnote: deterministic-pure pays a poly(∆) factor over randomized — Theorem 6's separation.\n")
 	return b.String(), nil
@@ -225,39 +224,39 @@ func Table2(size Size) (string, error) {
 
 // Fig1 traces the phases of the global broadcast (awake growth, clusters
 // per phase) — the data behind the paper's phase illustration.
-func Fig1(size Size) (string, error) {
+func Fig1(size Size, engine Engine) (string, error) {
 	n, length := 50, 7
 	if size == Full {
 		n, length = 80, 10
 	}
 	pts := geom.ConnectedStrip(n, float64(length), 1, 0.7, 13)
-	net, err := newNetwork(pts)
+	net, err := newNetwork(pts, engine)
 	if err != nil {
 		return "", err
 	}
-	res, err := net.GlobalBroadcast(0)
+	res, err := net.Run(context.Background(), dcluster.GlobalBroadcast(0))
 	if err != nil {
 		return "", err
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "E3 / Figure 1 — global broadcast phase trace (n=%d, D=%d, ∆=%d)\n\n", n, net.Diameter(), net.Density())
 	fmt.Fprintf(&b, "%6s %12s %12s %10s %10s\n", "phase", "awakeBefore", "newlyAwake", "clusters", "rounds")
-	for _, p := range res.PhaseTrace {
+	for _, p := range res.Broadcast.PhaseTrace {
 		fmt.Fprintf(&b, "%6d %12d %12d %10d %10d\n", p.Phase, p.AwakeBefore, p.NewlyAwake, p.Clusters, p.Rounds)
 	}
-	fmt.Fprintf(&b, "\ncoverage=%.2f total rounds=%d\n", res.Coverage(), res.Stats.Rounds)
+	fmt.Fprintf(&b, "\ncoverage=%.2f total rounds=%d\n", res.Broadcast.Coverage(), res.Stats.Rounds)
 	return b.String(), nil
 }
 
 // Fig2 reports proximity-graph construction statistics: close-pair
 // coverage, degree bound, rounds.
-func Fig2(size Size) (string, error) {
+func Fig2(size Size, engine Engine) (string, error) {
 	n := 60
 	if size == Full {
 		n = 120
 	}
 	pts := geom.UniformDisk(n, 2.2, 17)
-	env, err := newEnv(pts)
+	env, err := newEnv(pts, engine)
 	if err != nil {
 		return "", err
 	}
@@ -296,7 +295,7 @@ func Fig2(size Size) (string, error) {
 }
 
 // Fig3 reports the sparsification density decay, clustered vs unclustered.
-func Fig3(size Size) (string, error) {
+func Fig3(size Size, engine Engine) (string, error) {
 	iters := 6
 	m := 12
 	if size == Full {
@@ -315,7 +314,7 @@ func Fig3(size Size) (string, error) {
 			cl = append(cl, int32(c+1))
 		}
 	}
-	series, err := sparsifySeries(pts, cl, true, iters)
+	series, err := sparsifySeries(pts, cl, true, iters, engine)
 	if err != nil {
 		return "", err
 	}
@@ -323,7 +322,7 @@ func Fig3(size Size) (string, error) {
 
 	// Unclustered disk.
 	upts := geom.UniformDisk(3*m, 1.2, 29)
-	useries, err := sparsifySeries(upts, nil, false, iters)
+	useries, err := sparsifySeries(upts, nil, false, iters, engine)
 	if err != nil {
 		return "", err
 	}
@@ -333,7 +332,7 @@ func Fig3(size Size) (string, error) {
 }
 
 // Fig4 reports FullSparsification level sizes A_0 ⊇ A_1 ⊇ … ⊇ A_k.
-func Fig4(size Size) (string, error) {
+func Fig4(size Size, engine Engine) (string, error) {
 	m := 16
 	if size == Full {
 		m = 32
@@ -346,7 +345,7 @@ func Fig4(size Size) (string, error) {
 			cl = append(cl, int32(c+1))
 		}
 	}
-	env, err := newEnv(pts)
+	env, err := newEnv(pts, engine)
 	if err != nil {
 		return "", err
 	}
@@ -384,8 +383,8 @@ func Fig4(size Size) (string, error) {
 	return b.String(), nil
 }
 
-func sparsifySeries(pts []geom.Point, cl []int32, clustered bool, iters int) ([]int, error) {
-	env, err := newEnv(pts)
+func sparsifySeries(pts []geom.Point, cl []int32, clustered bool, iters int, engine Engine) ([]int, error) {
+	env, err := newEnv(pts, engine)
 	if err != nil {
 		return nil, err
 	}
@@ -439,7 +438,7 @@ func hasEdge(adj map[int][]int, u, v int) bool {
 
 // ClusteringCost compares measured Clustering rounds against the Theorem 1
 // bound across a density sweep (E9).
-func ClusteringCost(size Size) (string, error) {
+func ClusteringCost(size Size, engine Engine) (string, error) {
 	deltas := []int{4, 8}
 	n := 48
 	if size == Full {
@@ -451,11 +450,11 @@ func ClusteringCost(size Size) (string, error) {
 	fmt.Fprintf(&b, "%6s %6s %10s %14s %10s\n", "n", "Γ", "rounds", "Γ·logN·log*N", "ratio")
 	for _, delta := range deltas {
 		pts := DiskForDensity(n, delta, 3)
-		net, err := newNetwork(pts)
+		net, err := newNetwork(pts, engine)
 		if err != nil {
 			return "", err
 		}
-		res, err := net.Cluster()
+		res, err := net.Run(context.Background(), dcluster.Clustering())
 		if err != nil {
 			return "", err
 		}

@@ -3,6 +3,8 @@ package exp
 import (
 	"strings"
 	"testing"
+
+	"dcluster"
 )
 
 // The experiment runners are exercised end-to-end at Quick scale: every
@@ -10,7 +12,7 @@ import (
 func TestAllExperimentsQuick(t *testing.T) {
 	tests := []struct {
 		name   string
-		run    func(Size) (string, error)
+		run    func(Size, Engine) (string, error)
 		header string
 	}{
 		{"table1", Table1, "Table 1"},
@@ -27,7 +29,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 		tt := tt
 		t.Run(tt.name, func(t *testing.T) {
 			t.Parallel()
-			out, err := tt.run(Quick)
+			out, err := tt.run(Quick, dcluster.EngineDense)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -35,6 +37,17 @@ func TestAllExperimentsQuick(t *testing.T) {
 				t.Errorf("report missing header %q:\n%s", tt.header, out)
 			}
 		})
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	for _, ok := range []string{"dense", "sparse"} {
+		if _, err := ParseEngine(ok); err != nil {
+			t.Errorf("ParseEngine(%q) = %v", ok, err)
+		}
+	}
+	if _, err := ParseEngine("auto"); err == nil {
+		t.Error("ParseEngine(auto) must error: runners need a concrete engine")
 	}
 }
 

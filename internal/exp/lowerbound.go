@@ -22,8 +22,10 @@ func proximityConstruct(env *sim.Env, cfg config.Config, wss *selectors.WSS, act
 
 // Fig56 runs the single-gadget lower-bound experiment: adversarial ID
 // assignment (Lemma 13) against deterministic oblivious schedules, the
-// measured delivery round, and the randomized comparison.
-func Fig56(size Size) (string, error) {
+// measured delivery round, and the randomized comparison. The gadget
+// geometry requires the exact distance-matrix field, so the engine
+// parameter exists only for signature uniformity with the other runners.
+func Fig56(size Size, _ Engine) (string, error) {
 	deltas := []int{4, 8, 16}
 	if size == Full {
 		deltas = []int{4, 8, 16, 32, 64}
@@ -116,8 +118,9 @@ func decayCrossing(chain *lowerbound.Chain, delta int, seed int64) int {
 
 // Fig7 runs the chained-gadget experiment: flooding with a deterministic
 // oblivious schedule across D/κ gadgets versus the randomized decay,
-// exhibiting the Ω(D·∆^{1−1/α}) vs D·polylog separation.
-func Fig7(size Size) (string, error) {
+// exhibiting the Ω(D·∆^{1−1/α}) vs D·polylog separation. Like Fig56 it is
+// pinned to the distance-matrix field; the engine parameter is unused.
+func Fig7(size Size, _ Engine) (string, error) {
 	type cfgT struct{ delta, gadgets int }
 	cases := []cfgT{{4, 2}, {8, 2}, {8, 4}}
 	if size == Full {

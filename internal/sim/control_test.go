@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"dcluster/internal/geom"
+	"dcluster/internal/sinr"
+)
+
+func controlEnv(t *testing.T) *Env {
+	t.Helper()
+	f, err := sinr.NewField(sinr.DefaultParams(), geom.LinePath(4, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return MustEnv(f, nil, 0)
+}
+
+// catchStop runs fn and returns the abort error of a Step/Skip panic.
+func catchStop(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e := StopError(r); e != nil {
+				err = e
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+func TestControlRoundBudgetStep(t *testing.T) {
+	e := controlEnv(t)
+	e.SetControl(Control{MaxRounds: 3})
+	err := catchStop(func() {
+		for i := 0; i < 10; i++ {
+			e.Step([]int{0}, func(int) Msg { return Msg{Kind: KindHello} }, nil)
+		}
+	})
+	if !errors.Is(err, ErrRoundBudget) {
+		t.Fatalf("err = %v, want ErrRoundBudget", err)
+	}
+	if e.Rounds() != 3 {
+		t.Errorf("rounds = %d, want exactly the budget", e.Rounds())
+	}
+}
+
+func TestControlRoundBudgetSkipClamps(t *testing.T) {
+	e := controlEnv(t)
+	e.SetControl(Control{MaxRounds: 5})
+	err := catchStop(func() { e.Skip(100) })
+	if !errors.Is(err, ErrRoundBudget) {
+		t.Fatalf("err = %v, want ErrRoundBudget", err)
+	}
+	if e.Rounds() != 5 {
+		t.Errorf("rounds = %d, want clamp at the budget", e.Rounds())
+	}
+}
+
+func TestControlContextCancel(t *testing.T) {
+	e := controlEnv(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	e.SetControl(Control{Ctx: ctx})
+	e.Step(nil, nil, nil) // fine while the context lives
+	cancel()
+	err := catchStop(func() { e.Step(nil, nil, nil) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if e.Rounds() != 1 {
+		t.Errorf("rounds = %d, want 1 (cancelled round must not count)", e.Rounds())
+	}
+}
+
+type recObserver struct {
+	rounds []int64
+	tx     []int
+	del    []int
+	phases []string
+}
+
+func (o *recObserver) OnRound(round int64, tx, del int) {
+	o.rounds = append(o.rounds, round)
+	o.tx = append(o.tx, tx)
+	o.del = append(o.del, del)
+}
+func (o *recObserver) OnPhase(label string, round int64) { o.phases = append(o.phases, label) }
+
+func TestControlObserver(t *testing.T) {
+	e := controlEnv(t)
+	obs := &recObserver{}
+	e.SetControl(Control{Observer: obs})
+	e.MarkPhase("begin")
+	e.Step([]int{0}, func(int) Msg { return Msg{Kind: KindHello} }, nil)
+	e.Step(nil, nil, nil) // silent rounds are observed too
+	e.Skip(10)            // skipped rounds are not reported individually
+	e.MarkPhase("end")
+	if len(obs.rounds) != 2 || obs.rounds[0] != 1 || obs.rounds[1] != 2 {
+		t.Errorf("observed rounds %v, want [1 2]", obs.rounds)
+	}
+	if obs.tx[0] != 1 || obs.tx[1] != 0 {
+		t.Errorf("observed tx %v, want [1 0]", obs.tx)
+	}
+	if len(obs.phases) != 2 || obs.phases[0] != "begin" || obs.phases[1] != "end" {
+		t.Errorf("observed phases %v", obs.phases)
+	}
+	if e.Rounds() != 12 {
+		t.Errorf("rounds = %d", e.Rounds())
+	}
+}

@@ -1,10 +1,57 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"dcluster/internal/sinr"
 )
+
+// ErrRoundBudget is the abort cause when an execution exhausts the round
+// budget set through Control.MaxRounds.
+var ErrRoundBudget = errors.New("sim: round budget exhausted")
+
+// Observer receives execution callbacks from a running environment, on the
+// goroutine driving the execution. OnRound fires after every Step (including
+// silent ones; rounds elapsed via Skip are not reported individually);
+// OnPhase fires at every MarkPhase. Implementations must be fast — they sit
+// on the hot path of the simulator.
+type Observer interface {
+	// OnRound reports one completed synchronous round: the round number,
+	// the number of transmitters, and the number of successful deliveries.
+	OnRound(round int64, transmitters, deliveries int)
+	// OnPhase reports a labelled phase mark at the given round.
+	OnPhase(label string, round int64)
+}
+
+// Control attaches run-scoped execution policy to an environment: a context
+// checked at round boundaries, a hard round budget, and an observer. The
+// zero value imposes nothing.
+type Control struct {
+	// Ctx, when non-nil, is checked at every round boundary; once it is
+	// cancelled the execution aborts with the context's error.
+	Ctx context.Context
+	// MaxRounds, when positive, is a hard budget: the execution aborts with
+	// ErrRoundBudget before exceeding it.
+	MaxRounds int64
+	// Observer, when non-nil, receives per-round and per-phase callbacks.
+	Observer Observer
+}
+
+// stopExecution is the panic payload that unwinds an aborted execution out
+// of arbitrarily deep algorithm call stacks; the Run layer recovers it via
+// StopError and turns it back into an error.
+type stopExecution struct{ err error }
+
+// StopError returns the abort error carried by a recovered Step/Skip panic,
+// or nil if the panic is not an execution abort.
+func StopError(r any) error {
+	if s, ok := r.(stopExecution); ok {
+		return s.err
+	}
+	return nil
+}
 
 // Env is the shared execution environment of one simulation: the physical
 // field, the protocol ID assignment, the global round counter and statistics.
@@ -24,6 +71,7 @@ type Env struct {
 	stats    Stats
 	marks    []Mark
 	txCount  []int64
+	ctl      Control
 
 	txBuf  []int
 	recBuf []sinr.Reception
@@ -43,6 +91,27 @@ type Mark struct {
 	Round int64
 }
 
+// ValidateIDs checks a protocol ID assignment for n nodes: exactly one ID
+// per node, each unique and within [1..idBound]. It is the single validator
+// behind both NewEnv and the public NewNetwork fail-fast check, and returns
+// the ID→node index it builds while validating so NewEnv pays one pass.
+func ValidateIDs(ids []int, n, idBound int) (map[int]int, error) {
+	if len(ids) != n {
+		return nil, fmt.Errorf("sim: %d ids for %d nodes", len(ids), n)
+	}
+	idToNode := make(map[int]int, len(ids))
+	for node, id := range ids {
+		if id < 1 || id > idBound {
+			return nil, fmt.Errorf("sim: id %d out of range [1..%d]", id, idBound)
+		}
+		if prev, dup := idToNode[id]; dup {
+			return nil, fmt.Errorf("sim: duplicate id %d (nodes %d and %d)", id, prev, node)
+		}
+		idToNode[id] = node
+	}
+	return idToNode, nil
+}
+
 // NewEnv creates an environment. ids must be unique and within [1..idBound];
 // if ids is nil, node i gets ID i+1 and idBound defaults to n.
 func NewEnv(f sinr.Engine, ids []int, idBound int) (*Env, error) {
@@ -56,20 +125,11 @@ func NewEnv(f sinr.Engine, ids []int, idBound int) (*Env, error) {
 			idBound = n
 		}
 	}
-	if len(ids) != n {
-		return nil, fmt.Errorf("sim: %d ids for %d nodes", len(ids), n)
+	idToNode, err := ValidateIDs(ids, n, idBound)
+	if err != nil {
+		return nil, err
 	}
-	e := &Env{F: f, IDs: append([]int(nil), ids...), N: idBound, idToNode: make(map[int]int, n)}
-	for node, id := range ids {
-		if id < 1 || id > idBound {
-			return nil, fmt.Errorf("sim: id %d out of range [1..%d]", id, idBound)
-		}
-		if prev, dup := e.idToNode[id]; dup {
-			return nil, fmt.Errorf("sim: duplicate id %d (nodes %d and %d)", id, prev, node)
-		}
-		e.idToNode[id] = node
-	}
-	return e, nil
+	return &Env{F: f, IDs: append([]int(nil), ids...), N: idBound, idToNode: idToNode}, nil
 }
 
 // MustEnv is NewEnv that panics on error (test/example convenience).
@@ -102,9 +162,32 @@ func (e *Env) Stats() Stats {
 // Marks returns the recorded phase marks.
 func (e *Env) Marks() []Mark { return e.marks }
 
-// MarkPhase records a labelled timeline point at the current round.
+// SetControl attaches run-scoped execution policy (context, round budget,
+// observer). Call before the execution starts; the zero Control clears it.
+func (e *Env) SetControl(c Control) { e.ctl = c }
+
+// MarkPhase records a labelled timeline point at the current round and
+// notifies the observer, if any.
 func (e *Env) MarkPhase(label string) {
 	e.marks = append(e.marks, Mark{Label: label, Round: e.rounds})
+	if e.ctl.Observer != nil {
+		e.ctl.Observer.OnPhase(label, e.rounds)
+	}
+}
+
+// checkStop aborts the execution (by panicking with a stopExecution that
+// the Run layer recovers) when the round budget is exhausted or the context
+// is cancelled. Called at every round boundary, before the round's work, so
+// partial statistics never exceed the budget.
+func (e *Env) checkStop() {
+	if e.ctl.MaxRounds > 0 && e.rounds >= e.ctl.MaxRounds {
+		panic(stopExecution{ErrRoundBudget})
+	}
+	if e.ctl.Ctx != nil {
+		if err := e.ctl.Ctx.Err(); err != nil {
+			panic(stopExecution{err})
+		}
+	}
 }
 
 // Step executes one synchronous round: every node in txs transmits the
@@ -116,9 +199,13 @@ func (e *Env) MarkPhase(label string) {
 // The round counter advances even when txs is empty (silent rounds cost
 // time in the model too). The returned slice is valid until the next Step.
 func (e *Env) Step(txs []int, msgOf func(node int) Msg, listeners []int) []Delivery {
+	e.checkStop()
 	e.rounds++
 	e.stats.Transmissions += int64(len(txs))
 	if len(txs) == 0 {
+		if e.ctl.Observer != nil {
+			e.ctl.Observer.OnRound(e.rounds, 0, 0)
+		}
 		return nil
 	}
 	e.recordTx(txs)
@@ -132,15 +219,30 @@ func (e *Env) Step(txs []int, msgOf func(node int) Msg, listeners []int) []Deliv
 		out = append(out, Delivery{Receiver: r.Receiver, Sender: r.Sender, Msg: m})
 	}
 	e.stats.Deliveries += int64(len(out))
+	if e.ctl.Observer != nil {
+		e.ctl.Observer.OnRound(e.rounds, len(txs), len(out))
+	}
 	return out
 }
 
 // Skip advances the clock by k silent rounds (used when a protocol's
-// schedule has provably empty rounds that still consume time).
+// schedule has provably empty rounds that still consume time). The skipped
+// rounds count against the round budget; on exhaustion the clock stops at
+// the budget and the execution aborts.
 func (e *Env) Skip(k int64) {
-	if k > 0 {
-		e.rounds += k
+	if k <= 0 {
+		return
 	}
+	if e.ctl.Ctx != nil {
+		if err := e.ctl.Ctx.Err(); err != nil {
+			panic(stopExecution{err})
+		}
+	}
+	if e.ctl.MaxRounds > 0 && e.rounds+k > e.ctl.MaxRounds {
+		e.rounds = e.ctl.MaxRounds
+		panic(stopExecution{ErrRoundBudget})
+	}
+	e.rounds += k
 }
 
 // TxBuf returns a reusable scratch slice for building transmitter sets.

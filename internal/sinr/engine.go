@@ -39,6 +39,12 @@ type Engine interface {
 	// with the given transmitter set, appending to dst. listeners selects
 	// which non-transmitting nodes are checked (nil = all nodes).
 	Deliver(transmitters []int, listeners []int, dst []Reception) []Reception
+	// Session returns an engine view over the same nodes that shares the
+	// immutable model data (positions, gains, grid geometry) but owns its
+	// per-round scratch state. Sessions of one engine may call Deliver
+	// concurrently with each other; a single session is confined to one
+	// execution at a time, like the engine itself.
+	Session() Engine
 	// SINR returns the signal-to-interference-and-noise ratio at u for
 	// sender v given the full transmitter set txs (which must contain v).
 	SINR(v, u int, txs []int) float64

@@ -183,6 +183,15 @@ func (f *Field) txScratch() []bool {
 	return f.scratch
 }
 
+// Session returns a view of the field with its own Deliver scratch. The gain
+// matrix and positions are shared (they are immutable after construction),
+// so sessions are cheap and may Deliver concurrently with each other.
+func (f *Field) Session() Engine {
+	g := *f
+	g.scratch = nil
+	return &g
+}
+
 // SINR returns the signal-to-interference-and-noise ratio at u for sender v
 // given the full transmitter set txs (which must contain v), per Eq. (1).
 func (f *Field) SINR(v, u int, txs []int) float64 { return sinrOf(f, v, u, txs) }

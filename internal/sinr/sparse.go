@@ -53,6 +53,7 @@ const certSlack = 1e-9
 // Memory is O(n + cells); per-round work is O(|T| + |L|·near(FarRadius))
 // plus the rare exact fallbacks. A SparseField is not safe for concurrent
 // Deliver calls (matching *Field); the internal parallelism is self-managed.
+// Session returns views with private scratch that may Deliver concurrently.
 type SparseField struct {
 	params Params
 	n      int
@@ -64,32 +65,11 @@ type SparseField struct {
 	cell   float64
 	nx, ny int
 
-	// Per-round transmitter buckets (CSR layout, reused across rounds).
-	// For a nonempty cell c, its transmitters are cellTx[cellStart[c]:
-	// cellEnd[c]]; both arrays are zero outside the dirty list.
-	cellStart []int32
-	cellEnd   []int32
-	cellTx    []int32
-	dirty     []int32 // nonempty cell ids of the current round (for reset)
-	isTx      []bool
-	chunkRes  [][]Reception // reusable per-chunk result buffers
-
-	// Supercell (superSide × superSide cells) transmitter totals, the coarse
+	// Supercell (superSide × superSide cells) grid dimensions, the coarse
 	// level of the two-level far-field bound.
-	nsx, nsy   int
-	superCount []int32
-	superDirty []int32
+	nsx, nsy int
 
-	// Per-listener-cell conservative tail bounds (upper and lower), computed
-	// lazily during a round and cached behind an epoch stamp. Accessed with
-	// atomics: concurrent workers may recompute a cell's bounds redundantly,
-	// but the computation is deterministic, so every store writes identical
-	// bits.
-	posCell    []int32  // static: grid cell of each node
-	cellTail   []uint64 // math.Float64bits of the upper bound
-	cellTailLo []uint64 // math.Float64bits of the lower bound
-	tailStamp  []int64
-	epoch      int64
+	posCell []int32 // static: grid cell of each node
 
 	// Static per-offset gain bounds for the fine level of the tail bound:
 	// all grid cells are congruent, so the min/max distance between two
@@ -100,6 +80,46 @@ type SparseField struct {
 	fineLo []float64
 
 	workers int
+
+	// sessioned flips (atomically — sessions are created concurrently under
+	// Network's pool) once the first session exists; from then on the shared
+	// tables, including the far radius, are frozen and SetFarRadius errors.
+	// Shared by pointer so every session copy sees the same flag.
+	sessioned *atomic.Bool
+
+	// All per-round mutable state lives behind scr, so a session (a shallow
+	// copy of the field with a fresh scratch) shares every static table above
+	// while Delivering independently of its siblings.
+	scr *sparseScratch
+}
+
+// sparseScratch is the per-round mutable state of one SparseField session.
+// Everything static about the field (positions, grid geometry, gain tables)
+// stays on the SparseField; everything a Deliver call writes lives here.
+type sparseScratch struct {
+	// Per-round transmitter buckets (CSR layout, reused across rounds).
+	// For a nonempty cell c, its transmitters are cellTx[cellStart[c]:
+	// cellEnd[c]]; both arrays are zero outside the dirty list.
+	cellStart []int32
+	cellEnd   []int32
+	cellTx    []int32
+	dirty     []int32 // nonempty cell ids of the current round (for reset)
+	isTx      []bool
+	chunkRes  [][]Reception // reusable per-chunk result buffers
+
+	// Supercell transmitter totals, the coarse level of the far-field bound.
+	superCount []int32
+	superDirty []int32
+
+	// Per-listener-cell conservative tail bounds (upper and lower), computed
+	// lazily during a round and cached behind an epoch stamp. Accessed with
+	// atomics: concurrent workers may recompute a cell's bounds redundantly,
+	// but the computation is deterministic, so every store writes identical
+	// bits.
+	cellTail   []uint64 // math.Float64bits of the upper bound
+	cellTailLo []uint64 // math.Float64bits of the lower bound
+	tailStamp  []int64
+	epoch      int64
 }
 
 // fineHalf spans the largest cell offset reachable inside a 3×3 supercell
@@ -117,11 +137,12 @@ func NewSparseField(params Params, pos []geom.Point) (*SparseField, error) {
 	}
 	n := len(pos)
 	f := &SparseField{
-		params:  params,
-		n:       n,
-		pos:     append([]geom.Point(nil), pos...),
-		far:     DefaultFarFactor * params.Range(),
-		workers: runtime.GOMAXPROCS(0),
+		params:    params,
+		n:         n,
+		pos:       append([]geom.Point(nil), pos...),
+		far:       DefaultFarFactor * params.Range(),
+		workers:   runtime.GOMAXPROCS(0),
+		sessioned: new(atomic.Bool),
 	}
 	f.initGrid()
 	return f, nil
@@ -143,26 +164,51 @@ func (f *SparseField) initGrid() {
 		}
 		f.cell *= 2
 	}
-	f.cellStart = make([]int32, f.nx*f.ny)
-	f.cellEnd = make([]int32, f.nx*f.ny)
 	f.nsx = (f.nx + superSide - 1) / superSide
 	f.nsy = (f.ny + superSide - 1) / superSide
-	f.superCount = make([]int32, f.nsx*f.nsy)
-	f.cellTail = make([]uint64, f.nx*f.ny)
-	f.cellTailLo = make([]uint64, f.nx*f.ny)
-	f.tailStamp = make([]int64, f.nx*f.ny)
 	f.buildFineTables()
 	f.posCell = make([]int32, f.n)
 	for i, p := range f.pos {
 		f.posCell[i] = int32(f.cellOf(p))
 	}
-	f.isTx = make([]bool, f.n)
+	f.scr = f.newScratch()
+}
+
+// newScratch allocates a zeroed per-session scratch sized to the grid.
+func (f *SparseField) newScratch() *sparseScratch {
+	return &sparseScratch{
+		cellStart:  make([]int32, f.nx*f.ny),
+		cellEnd:    make([]int32, f.nx*f.ny),
+		isTx:       make([]bool, f.n),
+		superCount: make([]int32, f.nsx*f.nsy),
+		cellTail:   make([]uint64, f.nx*f.ny),
+		cellTailLo: make([]uint64, f.nx*f.ny),
+		tailStamp:  make([]int64, f.nx*f.ny),
+	}
+}
+
+// Session returns a view of the field with its own per-round scratch. All
+// static tables (positions, grid geometry, gain bounds) are shared; sessions
+// may Deliver concurrently with each other. Creating a session freezes the
+// far radius (SetFarRadius errors afterwards), so root and sessions can
+// never disagree on the truncation bound.
+func (f *SparseField) Session() Engine {
+	f.sessioned.Store(true)
+	g := *f
+	g.scr = f.newScratch()
+	return &g
 }
 
 // SetFarRadius overrides the far-field truncation radius. It must be at
 // least the transmission range (candidate senders are searched within the
-// far radius). Call before the first Deliver.
+// far radius). Call before the first Deliver; once a session exists the
+// radius is frozen (sessions capture it at creation, so changing it later
+// would let the root and its sessions disagree on borderline receptions)
+// and SetFarRadius returns an error.
 func (f *SparseField) SetFarRadius(r float64) error {
+	if f.sessioned.Load() {
+		return fmt.Errorf("sinr: far radius is frozen once sessions exist")
+	}
 	if r < f.params.Range() {
 		return fmt.Errorf("sinr: far radius %v below transmission range %v", r, f.params.Range())
 	}
@@ -276,36 +322,37 @@ func (f *SparseField) cellOf(p geom.Point) int {
 // as the per-cell count, then the placement cursor; after placement it holds
 // each cell's end offset while cellStart holds its start.
 func (f *SparseField) bucketTx(txs []int) {
-	if cap(f.cellTx) < len(txs) {
-		f.cellTx = make([]int32, len(txs))
+	s := f.scr
+	if cap(s.cellTx) < len(txs) {
+		s.cellTx = make([]int32, len(txs))
 	}
-	f.cellTx = f.cellTx[:len(txs)]
-	f.dirty = f.dirty[:0]
-	f.epoch++
+	s.cellTx = s.cellTx[:len(txs)]
+	s.dirty = s.dirty[:0]
+	s.epoch++
 	for _, v := range txs {
 		c := f.cellOf(f.pos[v])
-		if f.cellEnd[c] == 0 {
-			f.dirty = append(f.dirty, int32(c))
+		if s.cellEnd[c] == 0 {
+			s.dirty = append(s.dirty, int32(c))
 		}
-		f.cellEnd[c]++
+		s.cellEnd[c]++
 	}
 	var sum int32
-	f.superDirty = f.superDirty[:0]
-	for _, c := range f.dirty {
-		cnt := f.cellEnd[c]
-		f.cellStart[c] = sum
-		f.cellEnd[c] = sum // placement cursor
+	s.superDirty = s.superDirty[:0]
+	for _, c := range s.dirty {
+		cnt := s.cellEnd[c]
+		s.cellStart[c] = sum
+		s.cellEnd[c] = sum // placement cursor
 		sum += cnt
-		s := f.superOf(int(c))
-		if f.superCount[s] == 0 {
-			f.superDirty = append(f.superDirty, int32(s))
+		sc := f.superOf(int(c))
+		if s.superCount[sc] == 0 {
+			s.superDirty = append(s.superDirty, int32(sc))
 		}
-		f.superCount[s] += cnt
+		s.superCount[sc] += cnt
 	}
 	for _, v := range txs {
 		c := f.cellOf(f.pos[v])
-		f.cellTx[f.cellEnd[c]] = int32(v)
-		f.cellEnd[c]++
+		s.cellTx[s.cellEnd[c]] = int32(v)
+		s.cellEnd[c]++
 	}
 }
 
@@ -316,12 +363,13 @@ func (f *SparseField) superOf(c int) int {
 
 // resetBuckets clears the per-round CSR state touched by bucketTx.
 func (f *SparseField) resetBuckets() {
-	for _, c := range f.dirty {
-		f.cellStart[c] = 0
-		f.cellEnd[c] = 0
+	s := f.scr
+	for _, c := range s.dirty {
+		s.cellStart[c] = 0
+		s.cellEnd[c] = 0
 	}
-	for _, s := range f.superDirty {
-		f.superCount[s] = 0
+	for _, sc := range s.superDirty {
+		s.superCount[sc] = 0
 	}
 }
 
@@ -333,12 +381,13 @@ func (f *SparseField) Deliver(transmitters []int, listeners []int, dst []Recepti
 	if len(transmitters) == 0 {
 		return dst
 	}
+	s := f.scr
 	for _, v := range transmitters {
-		f.isTx[v] = true
+		s.isTx[v] = true
 	}
 	defer func() {
 		for _, v := range transmitters {
-			f.isTx[v] = false
+			s.isTx[v] = false
 		}
 	}()
 
@@ -359,11 +408,11 @@ func (f *SparseField) Deliver(transmitters []int, listeners []int, dst []Recepti
 			if listeners != nil {
 				u = listeners[i]
 			}
-			if f.isTx[u] {
+			if s.isTx[u] {
 				continue
 			}
-			if s, ok := f.checkListener(u, transmitters, useGrid); ok {
-				dst = append(dst, Reception{Receiver: u, Sender: s})
+			if v, ok := f.checkListener(u, transmitters, useGrid); ok {
+				dst = append(dst, Reception{Receiver: u, Sender: v})
 			}
 		}
 		return dst
@@ -378,8 +427,8 @@ func (f *SparseField) Deliver(transmitters []int, listeners []int, dst []Recepti
 	if chunks < 2 {
 		chunks = 2
 	}
-	for len(f.chunkRes) < chunks {
-		f.chunkRes = append(f.chunkRes, nil)
+	for len(s.chunkRes) < chunks {
+		s.chunkRes = append(s.chunkRes, nil)
 	}
 	per := (count + chunks - 1) / chunks
 	var wg sync.WaitGroup
@@ -389,31 +438,31 @@ func (f *SparseField) Deliver(transmitters []int, listeners []int, dst []Recepti
 		if hi > count {
 			hi = count
 		}
-		f.chunkRes[c] = f.chunkRes[c][:0]
+		s.chunkRes[c] = s.chunkRes[c][:0]
 		if lo >= hi {
 			continue
 		}
 		wg.Add(1)
 		go func(c, lo, hi int) {
 			defer wg.Done()
-			out := f.chunkRes[c]
+			out := s.chunkRes[c]
 			for i := lo; i < hi; i++ {
 				u := i
 				if listeners != nil {
 					u = listeners[i]
 				}
-				if f.isTx[u] {
+				if s.isTx[u] {
 					continue
 				}
-				if s, ok := f.checkListener(u, transmitters, useGrid); ok {
-					out = append(out, Reception{Receiver: u, Sender: s})
+				if v, ok := f.checkListener(u, transmitters, useGrid); ok {
+					out = append(out, Reception{Receiver: u, Sender: v})
 				}
 			}
-			f.chunkRes[c] = out
+			s.chunkRes[c] = out
 		}(c, lo, hi)
 	}
 	wg.Wait()
-	for _, out := range f.chunkRes[:chunks] {
+	for _, out := range s.chunkRes[:chunks] {
 		dst = append(dst, out...)
 	}
 	return dst
@@ -427,6 +476,7 @@ func (f *SparseField) checkListener(u int, txs []int, useGrid bool) (int, bool) 
 	if !useGrid {
 		return f.exactCheck(u, txs)
 	}
+	s := f.scr
 	p := f.pos[u]
 	beta, noise := f.params.Beta, f.params.Noise
 	far2 := f.far * f.far
@@ -452,8 +502,8 @@ func (f *SparseField) checkListener(u int, txs []int, useGrid bool) (int, bool) 
 		cyhi = f.ny - 1
 	}
 	scan := func(c int) {
-		for k := f.cellStart[c]; k < f.cellEnd[c]; k++ {
-			v := int(f.cellTx[k])
+		for k := s.cellStart[c]; k < s.cellEnd[c]; k++ {
+			v := int(s.cellTx[k])
 			q := f.pos[v]
 			d2 := geom.Dist2(q, p)
 			if d2 > far2 || v == u {
@@ -534,14 +584,15 @@ func (f *SparseField) checkListener(u int, txs []int, useGrid bool) (int, bool) 
 // concurrent workers: a cell may be computed redundantly, but the value is
 // deterministic, and the epoch stamp is only published after the bits.
 func (f *SparseField) cellTailBounds(c int32) (hi, lo float64) {
-	if atomic.LoadInt64(&f.tailStamp[c]) == f.epoch {
-		return math.Float64frombits(atomic.LoadUint64(&f.cellTail[c])),
-			math.Float64frombits(atomic.LoadUint64(&f.cellTailLo[c]))
+	s := f.scr
+	if atomic.LoadInt64(&s.tailStamp[c]) == s.epoch {
+		return math.Float64frombits(atomic.LoadUint64(&s.cellTail[c])),
+			math.Float64frombits(atomic.LoadUint64(&s.cellTailLo[c]))
 	}
 	hi, lo = f.computeCellTail(int(c))
-	atomic.StoreUint64(&f.cellTail[c], math.Float64bits(hi))
-	atomic.StoreUint64(&f.cellTailLo[c], math.Float64bits(lo))
-	atomic.StoreInt64(&f.tailStamp[c], f.epoch)
+	atomic.StoreUint64(&s.cellTail[c], math.Float64bits(hi))
+	atomic.StoreUint64(&s.cellTailLo[c], math.Float64bits(lo))
+	atomic.StoreInt64(&s.tailStamp[c], s.epoch)
 	return hi, lo
 }
 
@@ -561,6 +612,7 @@ func (f *SparseField) cellTailBounds(c int32) (hi, lo float64) {
 // beyond the far radius (their members are all in the tail for every
 // listener in c), each at the gain of its farthest point.
 func (f *SparseField) computeCellTail(c int) (hi, lo float64) {
+	scr := f.scr
 	far2 := f.far * f.far
 	gFar := gainAt(f.params, f.far)
 	cx, cy := c%f.nx, c/f.nx
@@ -587,7 +639,7 @@ func (f *SparseField) computeCellTail(c int) (hi, lo float64) {
 		trow := (gy - cy + fineHalf) * fineDim
 		for gx := bx0; gx <= bx1; gx++ {
 			cc := base + gx
-			cnt := float64(f.cellEnd[cc] - f.cellStart[cc])
+			cnt := float64(scr.cellEnd[cc] - scr.cellStart[cc])
 			if cnt == 0 {
 				continue
 			}
@@ -603,7 +655,7 @@ func (f *SparseField) computeCellTail(c int) (hi, lo float64) {
 	sw := float64(superSide) * f.cell
 	ax0 := f.min.X + float64(cx)*f.cell
 	ay0 := f.min.Y + float64(cy)*f.cell
-	for _, si := range f.superDirty {
+	for _, si := range scr.superDirty {
 		s := int(si)
 		qsx, qsy := s%f.nsx, s/f.nsx
 		if qsx >= sx-1 && qsx <= sx+1 && qsy >= sy-1 && qsy <= sy+1 {
@@ -612,7 +664,7 @@ func (f *SparseField) computeCellTail(c int) (hi, lo float64) {
 		qx0 := f.min.X + float64(qsx)*sw
 		qy0 := f.min.Y + float64(qsy)*sw
 		dmin2, dmax2 := rectRectDist2(ax0, ay0, ax0+f.cell, ay0+f.cell, qx0, qy0, qx0+sw, qy0+sw)
-		cnt := float64(f.superCount[s])
+		cnt := float64(scr.superCount[s])
 		if dmin2 <= far2 {
 			hi += cnt * gFar
 		} else {

@@ -1,0 +1,301 @@
+package dcluster
+
+import (
+	"context"
+	"fmt"
+
+	"dcluster/internal/broadcast"
+	"dcluster/internal/core"
+	"dcluster/internal/sim"
+)
+
+// ErrRoundBudget is returned by Run when the WithMaxRounds budget is
+// exhausted before the task completes. The accompanying *Result carries the
+// partial execution statistics. Test with errors.Is.
+var ErrRoundBudget = sim.ErrRoundBudget
+
+// Observer receives execution callbacks from a running task, on the
+// goroutine driving the Run. OnRound fires after every synchronous round
+// (silent rounds included; provably empty stretches skipped in bulk are not
+// reported individually); OnPhase fires at every algorithm phase mark.
+// Implementations must be fast — they sit on the simulator's hot path.
+type Observer = sim.Observer
+
+// ObserverFuncs adapts plain functions to the Observer interface; nil
+// fields are simply not called.
+type ObserverFuncs struct {
+	Round func(round int64, transmitters, deliveries int)
+	Phase func(label string, round int64)
+}
+
+// OnRound implements Observer.
+func (o ObserverFuncs) OnRound(round int64, transmitters, deliveries int) {
+	if o.Round != nil {
+		o.Round(round, transmitters, deliveries)
+	}
+}
+
+// OnPhase implements Observer.
+func (o ObserverFuncs) OnPhase(label string, round int64) {
+	if o.Phase != nil {
+		o.Phase(label, round)
+	}
+}
+
+// PhaseMark is a labelled point on the round timeline, recorded by the
+// algorithms at phase transitions.
+type PhaseMark struct {
+	Label string
+	Round int64
+}
+
+// RunOption customises one Run call.
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	maxRounds int64
+	observer  Observer
+}
+
+// WithMaxRounds imposes a hard, deterministic round budget: the execution
+// aborts with ErrRoundBudget before the round counter exceeds k. The
+// returned Result carries the partial statistics.
+func WithMaxRounds(k int64) RunOption {
+	return func(c *runConfig) { c.maxRounds = k }
+}
+
+// WithObserver attaches per-round and per-phase callbacks to the execution.
+func WithObserver(o Observer) RunOption {
+	return func(c *runConfig) { c.observer = o }
+}
+
+// Result is the outcome of one Run. Stats and Marks are always populated
+// (partially, if the run aborted); exactly one of the task-specific fields
+// is set on success, matching the task that ran.
+type Result struct {
+	// Algorithm is the name of the task that produced this result.
+	Algorithm string
+	// Stats of the execution (partial if the run aborted).
+	Stats Stats
+	// Marks are the phase marks recorded during the execution.
+	Marks []PhaseMark
+
+	// Cluster is set by Clustering().
+	Cluster *ClusterResult
+	// Local is set by LocalBroadcast().
+	Local *LocalBroadcastResult
+	// Broadcast is set by GlobalBroadcast() and MultiSourceBroadcast().
+	Broadcast *GlobalBroadcastResult
+	// Wake is set by WakeUp().
+	Wake *WakeUpResult
+	// Leader is set by ElectLeader().
+	Leader *LeaderResult
+}
+
+// Task is one executable protocol of the paper's algorithm stack. Tasks are
+// built by the package-level constructors (Clustering, LocalBroadcast,
+// GlobalBroadcast, MultiSourceBroadcast, WakeUp, ElectLeader) and executed
+// with Network.Run; a Task value is stateless and may be reused across
+// Runs and Networks.
+type Task interface {
+	// Name identifies the algorithm ("clustering", "local-broadcast", …).
+	Name() string
+	run(n *Network, env *sim.Env, res *Result) error
+}
+
+type taskFunc struct {
+	name string
+	fn   func(n *Network, env *sim.Env, res *Result) error
+}
+
+func (t taskFunc) Name() string                                    { return t.name }
+func (t taskFunc) run(n *Network, env *sim.Env, res *Result) error { return t.fn(n, env, res) }
+
+// Clustering returns the Theorem 1 task: deterministic distributed
+// clustering — every node ends in a cluster of radius ≤ 1, cluster centres
+// are pairwise ≥ 1−ε apart, and every unit ball meets O(1) clusters.
+func Clustering() Task {
+	return taskFunc{"clustering", func(n *Network, env *sim.Env, res *Result) error {
+		a, err := core.Cluster(env, core.ClusterInput{
+			Cfg:   n.cfg,
+			Nodes: n.allNodes(),
+			Gamma: n.Density(),
+		})
+		if err != nil {
+			return err
+		}
+		if err := n.validateClustering(a.ClusterOf, a.Center, 1.0); err != nil {
+			return fmt.Errorf("dcluster: clustering failed validation: %w", err)
+		}
+		res.Cluster = &ClusterResult{ClusterOf: a.ClusterOf, Center: a.Center}
+		return nil
+	}}
+}
+
+// LocalBroadcast returns the Theorem 2 task: every node delivers its
+// message to all communication-graph neighbours in O(∆·log N·log*N) rounds.
+func LocalBroadcast() Task {
+	return taskFunc{"local-broadcast", func(n *Network, env *sim.Env, res *Result) error {
+		r, err := broadcast.Local(env, broadcast.LocalInput{
+			Cfg:   n.cfg,
+			Nodes: n.allNodes(),
+			Delta: n.Density(),
+		})
+		if err != nil {
+			return err
+		}
+		res.Local = &LocalBroadcastResult{
+			Clustering: &ClusterResult{ClusterOf: r.Assignment.ClusterOf, Center: r.Assignment.Center},
+			Label:      r.Label,
+			Heard:      r.Heard,
+		}
+		return nil
+	}}
+}
+
+// GlobalBroadcast returns the Theorem 3 task: Algorithm 8 from a single
+// source, O(D·(∆+log*N)·log N) rounds.
+func GlobalBroadcast(source int) Task {
+	t := MultiSourceBroadcast([]int{source}).(taskFunc)
+	t.name = "global-broadcast"
+	return t
+}
+
+// MultiSourceBroadcast returns the sparse multiple-source broadcast task:
+// sources must be pairwise farther than 1−ε apart.
+func MultiSourceBroadcast(sources []int) Task {
+	srcs := append([]int(nil), sources...)
+	return taskFunc{"multi-source-broadcast", func(n *Network, env *sim.Env, res *Result) error {
+		if err := broadcast.ValidateSourcesSparse(env, srcs); err != nil {
+			return err
+		}
+		r, err := broadcast.Global(env, broadcast.GlobalInput{
+			Cfg:     n.cfg,
+			Sources: srcs,
+			Delta:   n.Density(),
+		})
+		if err != nil {
+			return err
+		}
+		res.Broadcast = &GlobalBroadcastResult{
+			AwakePhase: r.AwakeAtPhase,
+			AwakeRound: r.AwakeRound,
+			PhaseTrace: r.Phases,
+		}
+		return nil
+	}}
+}
+
+// WakeUp returns the Theorem 4 task: spontaneousAt[i] is the round node i
+// wakes spontaneously (-1 = only by message). All nodes are activated in
+// O(D·(∆+log*N)·log N) rounds after the first spontaneous wake-up.
+func WakeUp(spontaneousAt []int64) Task {
+	spont := append([]int64(nil), spontaneousAt...)
+	return taskFunc{"wake-up", func(n *Network, env *sim.Env, res *Result) error {
+		r, err := broadcast.WakeUp(env, broadcast.WakeUpInput{
+			Cfg:           n.cfg,
+			SpontaneousAt: spont,
+			Delta:         n.Density(),
+		})
+		if err != nil {
+			return err
+		}
+		res.Wake = &WakeUpResult{AwakeRound: r.AwakeRound, Epochs: r.Epochs}
+		return nil
+	}}
+}
+
+// ElectLeader returns the Theorem 5 task: clustering condenses the network
+// to its centres; binary search over the ID space elects the minimum-ID
+// centre in O(D·(∆+log*N)·log²N) rounds.
+func ElectLeader() Task {
+	return taskFunc{"leader-election", func(n *Network, env *sim.Env, res *Result) error {
+		r, err := broadcast.Leader(env, broadcast.LeaderInput{
+			Cfg:   n.cfg,
+			Nodes: n.allNodes(),
+			Delta: n.Density(),
+		})
+		if err != nil {
+			return err
+		}
+		res.Leader = &LeaderResult{Leader: r.Leader, LeaderID: r.LeaderID, Probes: r.Probes}
+		return nil
+	}}
+}
+
+// Run executes one task as a fresh synchronous execution over the network.
+//
+// The context is checked at round boundaries: once cancelled, the run
+// aborts and returns the context's error together with a partial Result.
+// WithMaxRounds imposes a deterministic round budget (typed ErrRoundBudget
+// on exhaustion); WithObserver attaches per-round and per-phase callbacks.
+//
+// A Network is safe for concurrent Run calls: the physical-layer model is
+// shared immutably, while each run owns a per-run engine session (pooled
+// across runs) and a fresh execution environment. Algorithms are
+// deterministic, so concurrent runs of the same task produce identical
+// results.
+func (n *Network) Run(ctx context.Context, task Task, opts ...RunOption) (*Result, error) {
+	if task == nil {
+		return nil, fmt.Errorf("dcluster: nil task")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var rc runConfig
+	for _, o := range opts {
+		o(&rc)
+	}
+	eng := n.acquireEngine()
+	defer n.releaseEngine(eng)
+	env, err := sim.NewEnv(eng, n.ids, n.idcap)
+	if err != nil {
+		return nil, err
+	}
+	env.SetControl(sim.Control{Ctx: ctx, MaxRounds: rc.maxRounds, Observer: rc.observer})
+
+	res := &Result{Algorithm: task.Name()}
+	err, aborted := runGuarded(func() error { return task.run(n, env, res) })
+	res.Stats = statsOf(env)
+	for _, m := range env.Marks() {
+		res.Marks = append(res.Marks, PhaseMark{Label: m.Label, Round: m.Round})
+	}
+	if err != nil {
+		if aborted {
+			// Budget exhausted or context cancelled: hand back the partial
+			// statistics alongside the typed error.
+			return &Result{Algorithm: res.Algorithm, Stats: res.Stats, Marks: res.Marks}, err
+		}
+		return nil, err
+	}
+	// The sub-results describe the same execution; mirror the stats into
+	// them for the legacy accessors.
+	switch {
+	case res.Cluster != nil:
+		res.Cluster.Stats = res.Stats
+	case res.Local != nil:
+		res.Local.Stats = res.Stats
+	case res.Broadcast != nil:
+		res.Broadcast.Stats = res.Stats
+	case res.Wake != nil:
+		res.Wake.Stats = res.Stats
+	case res.Leader != nil:
+		res.Leader.Stats = res.Stats
+	}
+	return res, nil
+}
+
+// runGuarded runs fn, converting an execution-abort panic (round budget,
+// context cancellation) back into its error; any other panic propagates.
+func runGuarded(fn func() error) (err error, aborted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e := sim.StopError(r); e != nil {
+				err, aborted = e, true
+				return
+			}
+			panic(r)
+		}
+	}()
+	return fn(), false
+}

@@ -8,6 +8,9 @@
 # trajectory of every hot path (engine Deliver, selector membership, the
 # experiment kernels), not a statistically tight measurement. Compare
 # BENCH_PR.json across PRs to spot order-of-magnitude regressions.
+# BenchmarkRunOverhead/{legacy,run} tracks the cost of the Run session
+# layer against the legacy blocking path (observer off): the two entries
+# should stay within noise of each other.
 set -euo pipefail
 
 out="${1:-BENCH_PR.json}"
