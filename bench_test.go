@@ -495,4 +495,49 @@ func BenchmarkRunOverhead(b *testing.B) {
 		}
 		b.ReportMetric(float64(rounds), "rounds")
 	})
+	// step: the steady-state per-round cost of the execution environment
+	// alone (Step with a small transmitter set against the dense engine).
+	// The allocs/op column is the load-bearing number: the round loop must
+	// stay allocation-free (see also TestStepSteadyStateZeroAllocs).
+	b.Run("step", func(b *testing.B) {
+		env, err := sim.NewEnv(net.field, net.ids, net.idcap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		txs := []int{0, 5, 9}
+		msg := func(v int) sim.Msg { return sim.Msg{Kind: sim.KindPayload, From: int32(v)} }
+		env.Step(txs, msg, nil) // warm the pooled buffers
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			env.Step(txs, msg, nil)
+		}
+	})
+}
+
+// TestStepSteadyStateZeroAllocs asserts the allocation-free round loop of
+// the acceptance criteria: after the first round warms the pooled buffers,
+// Env.Step (serial engine path) performs zero allocations per round, for
+// both engines and for silent rounds.
+func TestStepSteadyStateZeroAllocs(t *testing.T) {
+	pts := benchDisk(64, 8)
+	for _, kind := range []EngineKind{EngineDense, EngineSparse} {
+		net, err := NewNetwork(pts, WithEngine(kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := sim.NewEnv(net.field, net.ids, net.idcap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		txs := []int{1, 7, 13}
+		msg := func(v int) sim.Msg { return sim.Msg{Kind: sim.KindPayload, From: int32(v)} }
+		env.Step(txs, msg, nil) // warm-up round
+		if avg := testing.AllocsPerRun(200, func() { env.Step(txs, msg, nil) }); avg != 0 {
+			t.Errorf("engine=%s: Env.Step allocates %.1f objects per round in steady state, want 0", kind, avg)
+		}
+		if avg := testing.AllocsPerRun(200, func() { env.Step(nil, nil, nil) }); avg != 0 {
+			t.Errorf("engine=%s: silent Step allocates %.1f objects per round, want 0", kind, avg)
+		}
+	}
 }

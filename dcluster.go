@@ -23,7 +23,7 @@
 //     listeners: linear memory, scales to 100k+ nodes.
 //
 // Both produce identical reception sets; EngineAuto (the default) picks
-// dense below 4096 nodes and sparse above.
+// dense below SparseAutoThreshold (5120) nodes and sparse above.
 //
 // # Execution model
 //
@@ -130,9 +130,17 @@ const (
 )
 
 // SparseAutoThreshold is the node count at which EngineAuto switches from
-// the dense gain-matrix engine to the sparse grid engine (the dense matrix
-// crosses ~128 MiB here).
-const SparseAutoThreshold = 4096
+// the dense gain-matrix engine to the sparse grid engine. Retuned from the
+// post-transposed-Deliver crossover measurements (BenchmarkDeliver /
+// BenchmarkDeliverTx, constant-density disks): the dense engine's
+// sequential row accumulation now wins full rounds (|txs| = n/8) up to
+// ~4096 nodes (3.5 ms vs 4.3 ms per round), the two tie near 5120
+// (~12 ms), and the sparse engine wins from there (n = 8192: 28 ms vs
+// 40 ms — and 8·n² dense memory crosses half a GiB). In the small-|txs|
+// regimes the protocols actually generate, both engines enumerate
+// candidate listeners from the transmitters' grid cells and are within
+// ~20% of each other at every measured n.
+const SparseAutoThreshold = 5120
 
 // Network is a static wireless network instance: node positions, the SINR
 // engine, protocol configuration and ID assignment. All algorithm entry

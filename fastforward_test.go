@@ -1,0 +1,165 @@
+package dcluster
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// The fast-forward equivalence suite: for every task and every topology
+// family, an execution with silent-round fast-forwarding disabled (the
+// naive one-round-at-a-time loop) must produce the identical Result —
+// final task state, Stats (rounds, transmissions, deliveries) and phase
+// marks — as the default fast-forwarded execution. This pins the
+// NextActive contract end to end through every schedule-producing layer.
+
+// ffTopologies builds the small instances of the equivalence matrix. All
+// are connected and small enough that the naive executions stay cheap.
+func ffTopologies(t *testing.T) map[string][]Point {
+	t.Helper()
+	return map[string][]Point{
+		"disk":   UniformDisk(36, 1.6, 3),
+		"line":   LinePath(12, 0.7),
+		"clumps": GaussianClusters(30, 3, 2.5, 0.25, 5),
+		"grid":   GridLattice(6, 0.8, 0.05, 9),
+	}
+}
+
+func ffRun(t *testing.T, net *Network, task Task, fastForward bool) *Result {
+	t.Helper()
+	res, err := net.Run(context.Background(), task, WithFastForward(fastForward))
+	if err != nil {
+		t.Fatalf("fastForward=%v: %v", fastForward, err)
+	}
+	return res
+}
+
+// assertSameResult compares the full Result structure (task payload, Stats
+// and Marks) of the two modes.
+func assertSameResult(t *testing.T, on, off *Result) {
+	t.Helper()
+	if on.Stats != off.Stats {
+		t.Errorf("stats: fast-forward %+v, naive %+v", on.Stats, off.Stats)
+	}
+	if !reflect.DeepEqual(on.Marks, off.Marks) {
+		t.Errorf("phase marks differ: fast-forward %v, naive %v", on.Marks, off.Marks)
+	}
+	if !reflect.DeepEqual(on, off) {
+		t.Error("task results differ between fast-forward and naive executions")
+	}
+}
+
+func TestFastForwardEquivalence(t *testing.T) {
+	for name, pts := range ffTopologies(t) {
+		t.Run(name, func(t *testing.T) {
+			net, err := NewNetwork(pts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spont := make([]int64, net.Len())
+			for i := range spont {
+				spont[i] = -1
+			}
+			spont[0] = 3
+			tasks := map[string]Task{
+				"clustering":       Clustering(),
+				"local-broadcast":  LocalBroadcast(),
+				"global-broadcast": GlobalBroadcast(0),
+				"wake-up":          WakeUp(spont),
+				"leader-election":  ElectLeader(),
+			}
+			for taskName, task := range tasks {
+				t.Run(taskName, func(t *testing.T) {
+					if testing.Short() && (taskName == "leader-election" || taskName == "wake-up") {
+						t.Skip("short mode: heaviest equivalence combos are tier-2")
+					}
+					on := ffRun(t, net, task, true)
+					off := ffRun(t, net, task, false)
+					assertSameResult(t, on, off)
+				})
+			}
+		})
+	}
+}
+
+// TestFastForwardObserverAccounting checks the documented observer
+// difference: the naive mode reports every round individually, the
+// fast-forwarded mode one synthesized boundary per collapsed batch — while
+// both report identical non-silent rounds and identical final round
+// numbers.
+func TestFastForwardObserverAccounting(t *testing.T) {
+	net, err := NewNetwork(UniformDisk(24, 1.4, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type roundEvent struct {
+		round int64
+		tx    int
+	}
+	collect := func(fastForward bool) (events []roundEvent, rounds int64) {
+		res, err := net.Run(context.Background(), Clustering(),
+			WithFastForward(fastForward),
+			WithObserver(ObserverFuncs{Round: func(round int64, tx, del int) {
+				events = append(events, roundEvent{round, tx})
+			}}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return events, res.Stats.Rounds
+	}
+	fast, fastRounds := collect(true)
+	naive, naiveRounds := collect(false)
+	if fastRounds != naiveRounds {
+		t.Fatalf("rounds: fast-forward %d, naive %d", fastRounds, naiveRounds)
+	}
+	// The naive mode reports every round not elapsed via a bulk Skip (which
+	// was never reported individually, before or after fast-forwarding), in
+	// strictly increasing order.
+	for i := 1; i < len(naive); i++ {
+		if naive[i-1].round >= naive[i].round {
+			t.Fatalf("naive observer rounds not increasing at %d: %v %v", i, naive[i-1], naive[i])
+		}
+	}
+	// The fast-forwarded mode sees a subsequence: identical non-silent
+	// rounds, plus one zero-transmitter boundary per collapsed batch.
+	nonSilent := func(evs []roundEvent) []roundEvent {
+		var out []roundEvent
+		for _, e := range evs {
+			if e.tx > 0 {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	fs, ns := nonSilent(fast), nonSilent(naive)
+	if !reflect.DeepEqual(fs, ns) {
+		t.Fatalf("non-silent observer rounds differ: %d fast vs %d naive", len(fs), len(ns))
+	}
+	if len(fast) >= len(naive) {
+		t.Fatalf("fast-forward reported %d events, naive %d — expected fewer (collapsed batches)", len(fast), len(naive))
+	}
+	for i := 1; i < len(fast); i++ {
+		if fast[i-1].round >= fast[i].round {
+			t.Fatalf("fast-forward observer rounds not increasing at %d: %v %v", i, fast[i-1], fast[i])
+		}
+	}
+}
+
+// TestFastForwardEngineEquivalence re-runs one equivalence combo on the
+// sparse engine, so the fast-forward path is exercised against both
+// physical layers.
+func TestFastForwardEngineEquivalence(t *testing.T) {
+	pts := UniformDisk(36, 1.6, 3)
+	for _, kind := range []EngineKind{EngineDense, EngineSparse} {
+		t.Run(fmt.Sprintf("engine=%s", kind), func(t *testing.T) {
+			net, err := NewNetwork(pts, WithEngine(kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			on := ffRun(t, net, Clustering(), true)
+			off := ffRun(t, net, Clustering(), false)
+			assertSameResult(t, on, off)
+		})
+	}
+}

@@ -1,6 +1,6 @@
 // Package comm implements the basic SINR communication primitives of §3.2:
-// the Sparse Network Schedule (Lemma 4) and generic selector-schedule
-// execution helpers shared by the higher layers.
+// the Sparse Network Schedule (Lemma 4) and the event-driven
+// selector-schedule executor shared by the higher layers.
 package comm
 
 import (
@@ -15,8 +15,16 @@ import (
 // length O(log N) such that, when the participating set has constant density
 // γ, every participant's message is received at every point within distance
 // 1−ε of it.
+//
+// An SNS instance belongs to one execution: its passes run through a private
+// event scheduler that caches each node's scheduled rounds across passes, so
+// repeated sweeps over overlapping active sets (the radius-reduction and
+// broadcast loops) pay the schedule evaluation once per node.
 type SNS struct {
 	sel *selectors.SSF
+	ev  *EventScheduler
+
+	ids, clusters []int // per-pass sender snapshot (scratch)
 }
 
 // NewSNS builds the schedule for ID space [1..n] with the configured
@@ -29,7 +37,7 @@ func NewSNS(cfg config.Config, n int) (*SNS, error) {
 	if err != nil {
 		return nil, fmt.Errorf("comm: building SNS: %w", err)
 	}
-	return &SNS{sel: sel}, nil
+	return &SNS{sel: sel, ev: NewEventScheduler(selectors.Lift(sel))}, nil
 }
 
 // Len returns the schedule length.
@@ -38,37 +46,24 @@ func (s *SNS) Len() int { return s.sel.Len() }
 // Run executes one full pass of the schedule. Every node in active
 // transmits msgOf(node) in the rounds its ID is scheduled; listeners
 // restricts reception bookkeeping (nil = everyone). All deliveries across
-// the pass are returned in round order.
+// the pass are returned in round order; silent rounds are fast-forwarded.
+//
+// The returned slice is backed by the environment's shared pass buffer
+// (Env.PassBuf), reused by the next pass on the same environment; callers
+// consume a pass's deliveries before starting another pass (every caller in
+// this repository does).
 func (s *SNS) Run(env *sim.Env, active []int, msgOf func(node int) sim.Msg, listeners []int) []sim.Delivery {
-	return RunSelector(env, selectors.Lift(s.sel), active, nil, msgOf, listeners)
-}
-
-// RunSelector executes a full pass of any pair-selector schedule: node v
-// (active) transmits in round i iff (ID(v), cluster(v)) ∈ S_i. clusterOf may
-// be nil for unclustered schedules. Returns all deliveries.
-func RunSelector(
-	env *sim.Env,
-	sched selectors.PairSelector,
-	active []int,
-	clusterOf func(node int) int32,
-	msgOf func(node int) sim.Msg,
-	listeners []int,
-) []sim.Delivery {
-	var all []sim.Delivery
-	txs := make([]int, 0, len(active))
-	for i := 0; i < sched.Len(); i++ {
-		txs = txs[:0]
-		for _, v := range active {
-			c := 1
-			if clusterOf != nil {
-				c = int(clusterOf(v))
-			}
-			if sched.ContainsPair(i, env.IDs[v], c) {
-				txs = append(txs, v)
-			}
-		}
-		all = append(all, env.Step(txs, msgOf, listeners)...)
+	s.ids = s.ids[:0]
+	s.clusters = s.clusters[:0]
+	for _, v := range active {
+		s.ids = append(s.ids, env.IDs[v])
+		s.clusters = append(s.clusters, 1)
 	}
+	all := env.PassBuf()
+	s.ev.Pass(env, active, s.ids, s.clusters, msgOf, listeners, func(_ int, ds []sim.Delivery) {
+		all = append(all, ds...)
+	})
+	env.SetPassBuf(all)
 	return all
 }
 

@@ -63,6 +63,11 @@ func ReduceRadius(env *sim.Env, in ReduceInput) (*Assignment, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One schedule cache for the whole reduction: each iteration builds a
+	// fresh sparsification State, but the wcss (and most of the surviving
+	// nodes) persist, so sharing the per-node schedule lists across
+	// iterations avoids re-deriving them.
+	events := comm.NewEventLists(wcss)
 	sns, err := comm.NewSNS(cfg, env.N)
 	if err != nil {
 		return nil, err
@@ -80,7 +85,7 @@ func ReduceRadius(env *sim.Env, in ReduceInput) (*Assignment, error) {
 			break
 		}
 		start := env.Rounds()
-		assigned, err := reduceIteration(env, cfg, wcss, sns, x, work, out, in.Gamma)
+		assigned, err := reduceIteration(env, cfg, wcss, events, sns, x, work, out, in.Gamma)
 		if err != nil {
 			return nil, err
 		}
@@ -112,6 +117,7 @@ func reduceIteration(
 	env *sim.Env,
 	cfg config.Config,
 	wcss *selectors.WCSS,
+	events *comm.EventLists,
 	sns *comm.SNS,
 	x []int,
 	work []int32,
@@ -132,6 +138,7 @@ func reduceIteration(
 		ClusterOf: func(v int) int32 { return work[v] },
 		Clustered: true,
 		Gamma:     gamma,
+		Events:    events,
 	})
 	if err != nil {
 		return nil, err

@@ -190,6 +190,20 @@ func sweep(nodes []int, adj map[int][]int, color map[int]int, ex Exchange, cap i
 	)
 	state := make(map[int]int, len(nodes))
 	rounds := 0
+	// The adjacency sets are fixed across sweep rounds; build them once.
+	nb := make(map[int]map[int]bool, len(nodes))
+	for _, v := range nodes {
+		s := make(map[int]bool, len(adj[v]))
+		for _, u := range adj[v] {
+			s[u] = true
+		}
+		nb[v] = s
+	}
+	type info struct{ color, state int }
+	view := make(map[int]map[int]info, len(nodes))
+	for _, v := range nodes {
+		view[v] = make(map[int]info, len(adj[v]))
+	}
 	for {
 		undecided := false
 		for _, v := range nodes {
@@ -208,17 +222,10 @@ func sweep(nodes []int, adj map[int][]int, color map[int]int, ex Exchange, cap i
 			return sim.Msg{Kind: sim.KindMIS, A: int32(color[v]), B: int32(state[v])}
 		})
 		rounds++
-		// Per-node view of neighbour (colour, state).
-		type info struct{ color, state int }
-		view := make(map[int]map[int]info, len(nodes))
-		nb := make(map[int]map[int]bool, len(nodes))
-		for _, v := range nodes {
-			view[v] = map[int]info{}
-			s := map[int]bool{}
-			for _, u := range adj[v] {
-				s[u] = true
-			}
-			nb[v] = s
+		// Per-node view of neighbour (colour, state), rebuilt per round in
+		// the recycled maps.
+		for _, m := range view {
+			clear(m)
 		}
 		for _, d := range ds {
 			if d.Msg.Kind != sim.KindMIS {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dcluster/internal/comm"
 	"dcluster/internal/config"
 	"dcluster/internal/selectors"
 	"dcluster/internal/sim"
@@ -30,11 +31,21 @@ type Graph struct {
 }
 
 // Schedule is a replayable exchange schedule: the selector plus a snapshot
-// of the active set and cluster assignment at construction time.
+// of the active set and cluster assignment at construction time. Passes run
+// through a private event scheduler that caches each member's scheduled
+// rounds, so the construction exchange pays the schedule evaluation once and
+// every replay (confirmations, flag/choose passes, MIS exchanges, batch
+// replays) merges cached event lists instead of re-hashing rounds×senders.
 type Schedule struct {
 	sel     selectors.PairSelector
 	ids     []int         // env.IDs at construction (shared slice, read-only)
 	cluster map[int]int32 // snapshot: active node -> cluster at construction
+	ev      *comm.EventScheduler
+
+	// Per-pass sender snapshot (scratch reused across passes).
+	members []int
+	mIDs    []int
+	mClu    []int
 }
 
 // Len returns the number of rounds of one replay pass.
@@ -46,26 +57,40 @@ func (s *Schedule) Member(node int) bool {
 	return ok
 }
 
+// snapshotSenders filters senders down to construction-time members and
+// fills the parallel ID/cluster slices the event scheduler consumes.
+func (s *Schedule) snapshotSenders(senders []int) {
+	s.members = s.members[:0]
+	s.mIDs = s.mIDs[:0]
+	s.mClu = s.mClu[:0]
+	for _, v := range senders {
+		c, ok := s.cluster[v]
+		if !ok {
+			continue
+		}
+		s.members = append(s.members, v)
+		s.mIDs = append(s.mIDs, s.ids[v])
+		s.mClu = append(s.mClu, int(c))
+	}
+}
+
 // Run replays the schedule with the given senders (must be a subset of the
 // construction-time active set; others are silently skipped, preserving the
 // subset property that reception guarantees rely on). Every sender
-// transmits msgOf(node) in its scheduled rounds.
+// transmits msgOf(node) in its scheduled rounds; silent rounds are
+// fast-forwarded, with round accounting identical to the naive loop.
+//
+// The returned slice is backed by the environment's shared pass buffer
+// (Env.PassBuf), reused by the next pass on the same environment; callers
+// consume a pass's deliveries before starting another pass (every caller in
+// this repository does).
 func (s *Schedule) Run(env *sim.Env, senders []int, msgOf func(node int) sim.Msg, listeners []int) []sim.Delivery {
-	var all []sim.Delivery
-	txs := make([]int, 0, len(senders))
-	for i := 0; i < s.sel.Len(); i++ {
-		txs = txs[:0]
-		for _, v := range senders {
-			c, ok := s.cluster[v]
-			if !ok {
-				continue
-			}
-			if s.sel.ContainsPair(i, s.ids[v], int(c)) {
-				txs = append(txs, v)
-			}
-		}
-		all = append(all, env.Step(txs, msgOf, listeners)...)
-	}
+	s.snapshotSenders(senders)
+	all := env.PassBuf()
+	s.ev.Pass(env, s.members, s.mIDs, s.mClu, msgOf, listeners, func(_ int, ds []sim.Delivery) {
+		all = append(all, ds...)
+	})
+	env.SetPassBuf(all)
 	return all
 }
 
@@ -79,10 +104,16 @@ type reception struct {
 // node's cluster ID (use a constant function for unclustered sets, paired
 // with a lifted wss). clustered controls the "ignore other clusters"
 // filtering rule. The round cost is (κ+1)·|S|.
+//
+// lists, when non-nil, is a shared per-selector schedule cache (see
+// comm.EventLists): repeated constructions over the same selector — the
+// sparsification loops — then derive each node's schedule once per
+// execution instead of once per construction. nil builds a private cache.
 func Construct(
 	env *sim.Env,
 	cfg config.Config,
 	sched selectors.PairSelector,
+	lists *comm.EventLists,
 	active []int,
 	clusterOf func(node int) int32,
 	clustered bool,
@@ -93,11 +124,16 @@ func Construct(
 	if clusterOf == nil {
 		return nil, fmt.Errorf("proximity: clusterOf must not be nil")
 	}
+	if lists == nil {
+		lists = comm.NewEventLists(sched)
+	} else if lists.Selector() != sched {
+		return nil, fmt.Errorf("proximity: schedule cache was built over a different selector")
+	}
 	snapshot := make(map[int]int32, len(active))
 	for _, v := range active {
 		snapshot[v] = clusterOf(v)
 	}
-	s := &Schedule{sel: sched, ids: env.IDs, cluster: snapshot}
+	s := &Schedule{sel: sched, ids: env.IDs, cluster: snapshot, ev: comm.NewEventSchedulerShared(lists)}
 
 	// Exchange phase: one full pass, everyone scheduled transmits ID+cluster;
 	// the per-delivery round index is recorded for the filtering rule.
@@ -106,36 +142,49 @@ func Construct(
 	}
 	recvs := exchangeWithRounds(env, s, active, hello)
 
-	// Filtering phase (local computation, no rounds).
+	// Filtering phase (local computation, no rounds). Membership ("heard
+	// in-cluster") and removal are tracked in generation-stamped arrays —
+	// one generation per listener — instead of per-listener maps; the
+	// resulting candidate sets are identical (removal is order-independent:
+	// w is removed iff some reception round schedules it) and end sorted by
+	// ID either way.
 	candidates := make(map[int][]int, len(active))
+	n := env.F.N()
+	inStamp := make([]int64, n)
+	remStamp := make([]int64, n)
+	var gen int64
+	inList := make([]int, 0, 16)
 	for _, u := range active {
 		rs := recvs[u]
-		inU := map[int]bool{}
+		gen++
+		inList = inList[:0]
 		for _, r := range rs {
 			if clustered && snapshot[r.sender] != snapshot[u] {
 				continue // ignore other clusters (Alg. 1 remark)
 			}
-			inU[r.sender] = true
+			if inStamp[r.sender] != gen {
+				inStamp[r.sender] = gen
+				inList = append(inList, r.sender)
+			}
 		}
-		removed := map[int]bool{}
 		for _, r := range rs {
-			if !inU[r.sender] {
+			if inStamp[r.sender] != gen {
 				continue
 			}
-			for w := range inU {
-				if w == r.sender || removed[w] {
+			for _, w := range inList {
+				if w == r.sender || remStamp[w] == gen {
 					continue
 				}
 				// w was transmitting in the round u heard r.sender ⇒ (u,w)
 				// is not a close pair (lookup in the schedule, line 7).
 				if s.sel.ContainsPair(r.round, env.IDs[w], int(snapshot[w])) {
-					removed[w] = true
+					remStamp[w] = gen
 				}
 			}
 		}
 		var cand []int
-		for w := range inU {
-			if !removed[w] {
+		for _, w := range inList {
+			if remStamp[w] != gen {
 				cand = append(cand, w)
 			}
 		}
@@ -200,21 +249,17 @@ func Construct(
 }
 
 // exchangeWithRounds runs one schedule pass recording the round index of
-// every delivery (needed by the filtering rule).
+// every delivery (needed by the filtering rule). The pass is the schedule's
+// first, so it also warms the event scheduler's per-member round cache for
+// every replay that follows.
 func exchangeWithRounds(env *sim.Env, s *Schedule, active []int, msgOf func(int) sim.Msg) map[int][]reception {
+	s.snapshotSenders(active)
 	recvs := make(map[int][]reception, len(active))
-	txs := make([]int, 0, len(active))
-	for i := 0; i < s.sel.Len(); i++ {
-		txs = txs[:0]
-		for _, v := range active {
-			if s.sel.ContainsPair(i, s.ids[v], int(s.cluster[v])) {
-				txs = append(txs, v)
-			}
-		}
-		for _, d := range env.Step(txs, msgOf, active) {
+	s.ev.Pass(env, s.members, s.mIDs, s.mClu, msgOf, active, func(i int, ds []sim.Delivery) {
+		for _, d := range ds {
 			recvs[d.Receiver] = append(recvs[d.Receiver], reception{sender: d.Sender, round: i})
 		}
-	}
+	})
 	return recvs
 }
 

@@ -11,6 +11,14 @@
 // modulo primes is also provided.
 package selectors
 
+// Multiplier constants of the hash3 mixing chain (golden-ratio and xxhash
+// primes). They are shared with the prepared-row fast path, which must
+// reproduce hash3 bit for bit.
+const (
+	hashRoundMul = 0x9e3779b97f4a7c15
+	hashValueMul = 0xc2b2ae3d27d4eb4f
+)
+
 // splitmix64 is the SplitMix64 finaliser; a fast, high-quality 64-bit mixer.
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
@@ -22,8 +30,8 @@ func splitmix64(x uint64) uint64 {
 // hash3 mixes a seed, a round index and a value into a uniform-ish uint64.
 func hash3(seed uint64, round, value int, salt uint64) uint64 {
 	h := splitmix64(seed ^ salt)
-	h = splitmix64(h ^ uint64(round)*0x9e3779b97f4a7c15)
-	h = splitmix64(h ^ uint64(value)*0xc2b2ae3d27d4eb4f)
+	h = splitmix64(h ^ uint64(round)*hashRoundMul)
+	h = splitmix64(h ^ uint64(value)*hashValueMul)
 	return h
 }
 
@@ -34,6 +42,38 @@ func pick(seed uint64, round, value int, salt uint64, denom int) bool {
 	}
 	// Threshold comparison avoids modulo bias well enough for our purposes.
 	return hash3(seed, round, value, salt) < (^uint64(0))/uint64(denom)
+}
+
+// rowPrefix is the round-dependent prefix of the hash3 chain: mixing it once
+// per round lets a Row decide membership with a single finalising mix per
+// value. hash3(seed, round, value, salt) == splitmix64(rowPrefix(seed, round,
+// salt) ^ value·hashValueMul) by construction.
+func rowPrefix(seed uint64, round int, salt uint64) uint64 {
+	h := splitmix64(seed ^ salt)
+	return splitmix64(h ^ uint64(round)*hashRoundMul)
+}
+
+// pickThreshold converts an inclusion denominator to the hash threshold used
+// by pick. alwaysThreshold marks the denom ≤ 1 case, where pick succeeds
+// unconditionally (no hash is evaluated).
+func pickThreshold(denom int) uint64 {
+	if denom <= 1 {
+		return alwaysThreshold
+	}
+	return (^uint64(0)) / uint64(denom)
+}
+
+// alwaysThreshold is the sentinel threshold of a Bernoulli(1) row. It cannot
+// collide with a real threshold: denom ≥ 2 thresholds are at most ^uint64(0)/2.
+const alwaysThreshold = ^uint64(0)
+
+// rowPick is the per-value tail of the hash3 chain against a prepared prefix,
+// bit-identical to pick for the same (seed, round, salt, denom).
+func rowPick(prefix uint64, value int, threshold uint64) bool {
+	if threshold == alwaysThreshold {
+		return true
+	}
+	return splitmix64(prefix^uint64(value)*hashValueMul) < threshold
 }
 
 // log2ceil returns ⌈log₂(max(2,x))⌉, the bit length used in size formulas.

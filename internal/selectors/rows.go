@@ -1,0 +1,101 @@
+package selectors
+
+// Row is one prepared set S_i of a selector family: the round-dependent part
+// of the membership computation (two of the three hash3 mixing stages, or
+// the prime-block search of the explicit ssf) is performed once when the row
+// is built, so testing each (id, cluster) pair costs a single finalising mix.
+// Rows are plain values — preparing one allocates nothing — and produce
+// bit-identical answers to the family's Contains/ContainsPair for the same
+// round.
+//
+// Rows exist for the simulator's hot path: a schedule pass asks the same
+// round's set about every sender, so the per-round prefix work amortises
+// over the whole sender list.
+type Row struct {
+	kind  rowKind
+	node  uint64 // round-mixed node-hash prefix
+	nodeT uint64 // node inclusion threshold (alwaysThreshold = Bernoulli(1))
+	clus  uint64 // round-mixed cluster-hash prefix (rowHashPair only)
+	clusT uint64 // cluster inclusion threshold
+	p, r  int    // modulus and residue (rowPrime only)
+}
+
+type rowKind uint8
+
+const (
+	rowHash     rowKind = iota // node hash only (ssf, wss, lifted)
+	rowHashPair                // cluster hash && node hash (wcss)
+	rowPrime                   // id ≡ r (mod p) (prime ssf)
+	rowEmpty                   // out-of-range round: the empty set
+)
+
+// ContainsPair reports whether (id, cluster) belongs to the prepared set,
+// bit-identical to the owning family's ContainsPair(round, id, cluster).
+func (w Row) ContainsPair(id, cluster int) bool {
+	switch w.kind {
+	case rowHash:
+		return rowPick(w.node, id, w.nodeT)
+	case rowHashPair:
+		return rowPick(w.clus, cluster, w.clusT) && rowPick(w.node, id, w.nodeT)
+	case rowPrime:
+		return id%w.p == w.r
+	default:
+		return false
+	}
+}
+
+// RowSelector is implemented by families that can prepare one round's set
+// for repeated membership tests. Every selector in this package implements
+// it; schedule executors type-assert once per pass and fall back to
+// per-call Contains/ContainsPair for foreign implementations.
+type RowSelector interface {
+	Row(round int) Row
+}
+
+// Compile-time checks: every family offers prepared rows.
+var (
+	_ RowSelector = (*SSF)(nil)
+	_ RowSelector = (*PrimeSSF)(nil)
+	_ RowSelector = (*WSS)(nil)
+	_ RowSelector = (*WCSS)(nil)
+)
+
+// Row prepares set i of the ssf.
+func (s *SSF) Row(round int) Row {
+	return Row{kind: rowHash, node: rowPrefix(s.seed, round, saltSSF), nodeT: s.t}
+}
+
+// Row prepares set i of the wss.
+func (w *WSS) Row(round int) Row {
+	return Row{kind: rowHash, node: rowPrefix(w.seed, round, saltWSS), nodeT: w.t}
+}
+
+// Row prepares set i of the wcss: the cluster draw and the node draw share
+// the round but use distinct salts, exactly as ContainsPair evaluates them.
+func (w *WCSS) Row(round int) Row {
+	return Row{
+		kind:  rowHashPair,
+		node:  rowPrefix(w.seed, round, saltWCSSNode),
+		nodeT: w.tNode,
+		clus:  rowPrefix(w.seed, round, saltWCSSCluster),
+		clusT: w.tClus,
+	}
+}
+
+// Row prepares set i of the prime-residue ssf: the prime-block binary search
+// happens once here instead of once per membership test.
+func (s *PrimeSSF) Row(round int) Row {
+	if round < 0 || round >= s.m {
+		return Row{kind: rowEmpty}
+	}
+	lo, hi := 0, len(s.primes)
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if s.starts[mid] <= round {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return Row{kind: rowPrime, p: s.primes[lo], r: round - s.starts[lo]}
+}

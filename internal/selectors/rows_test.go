@@ -1,0 +1,101 @@
+package selectors
+
+import "testing"
+
+// TestRowMatchesContains is the bit-equivalence property of the prepared-row
+// fast path: for every family, Row(i).ContainsPair must agree with the
+// family's own membership test on every (round, id, cluster) probed,
+// including the degenerate k = 1 / l = 1 (always-include) parameters and
+// out-of-range rounds of the explicit prime ssf.
+func TestRowMatchesContains(t *testing.T) {
+	const n = 1 << 10
+	probeRounds := []int{0, 1, 7, 63, 255}
+	probeIDs := []int{1, 2, 17, 400, n}
+	probeClusters := []int{1, 3, 99}
+
+	t.Run("ssf", func(t *testing.T) {
+		for _, k := range []int{1, 2, 6} {
+			s, err := NewSSF(n, k, 1, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, round := range probeRounds {
+				row := s.Row(round)
+				for _, id := range probeIDs {
+					if got, want := row.ContainsPair(id, 1), s.Contains(round, id); got != want {
+						t.Fatalf("ssf k=%d round=%d id=%d: row %v, contains %v", k, round, id, got, want)
+					}
+				}
+			}
+		}
+	})
+
+	t.Run("wss", func(t *testing.T) {
+		s, err := NewWSS(n, 3, 1, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, round := range probeRounds {
+			row := s.Row(round)
+			for _, id := range probeIDs {
+				if got, want := row.ContainsPair(id, 5), s.Contains(round, id); got != want {
+					t.Fatalf("wss round=%d id=%d: row %v, contains %v", round, id, got, want)
+				}
+			}
+		}
+	})
+
+	t.Run("wcss", func(t *testing.T) {
+		for _, l := range []int{1, 4} {
+			s, err := NewWCSS(n, 3, l, 1, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, round := range probeRounds {
+				row := s.Row(round)
+				for _, id := range probeIDs {
+					for _, c := range probeClusters {
+						if got, want := row.ContainsPair(id, c), s.ContainsPair(round, id, c); got != want {
+							t.Fatalf("wcss l=%d round=%d id=%d cluster=%d: row %v, contains %v", l, round, id, c, got, want)
+						}
+					}
+				}
+			}
+		}
+	})
+
+	t.Run("prime-ssf", func(t *testing.T) {
+		s, err := NewPrimeSSF(256, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := -1; round <= s.Len(); round++ {
+			row := s.Row(round)
+			for _, id := range []int{1, 5, 100, 255} {
+				if got, want := row.ContainsPair(id, 1), s.Contains(round, id); got != want {
+					t.Fatalf("prime-ssf round=%d id=%d: row %v, contains %v", round, id, got, want)
+				}
+			}
+		}
+	})
+
+	t.Run("lifted", func(t *testing.T) {
+		s, err := NewSSF(n, 4, 1, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lifted := Lift(s)
+		rs, ok := lifted.(RowSelector)
+		if !ok {
+			t.Fatal("Lift over a RowSelector must keep the fast path")
+		}
+		for _, round := range probeRounds {
+			row := rs.Row(round)
+			for _, id := range probeIDs {
+				if got, want := row.ContainsPair(id, 2), lifted.ContainsPair(round, id, 2); got != want {
+					t.Fatalf("lifted round=%d id=%d: row %v, contains %v", round, id, got, want)
+				}
+			}
+		}
+	})
+}

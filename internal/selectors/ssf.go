@@ -16,6 +16,7 @@ type Selector interface {
 type SSF struct {
 	n, k, m int
 	seed    uint64
+	t       uint64 // precomputed pick threshold for 1/k inclusion
 }
 
 const saltSSF = 0x5353465f73616c74 // "SSF_salt"
@@ -37,7 +38,7 @@ func NewSSF(n, k int, factor float64, seed uint64) (*SSF, error) {
 	if m < k {
 		m = k
 	}
-	return &SSF{n: n, k: k, m: m, seed: seed}, nil
+	return &SSF{n: n, k: k, m: m, seed: seed, t: pickThreshold(k)}, nil
 }
 
 // Len returns the schedule length m.

@@ -14,6 +14,8 @@ import "fmt"
 type WCSS struct {
 	n, k, l, m int
 	seed       uint64
+	tNode      uint64 // precomputed pick thresholds (1/k node, 1/l cluster)
+	tClus      uint64
 }
 
 const (
@@ -37,7 +39,7 @@ func NewWCSS(n, k, l int, factor float64, seed uint64) (*WCSS, error) {
 	if m < k {
 		m = k
 	}
-	return &WCSS{n: n, k: k, l: l, m: m, seed: seed}, nil
+	return &WCSS{n: n, k: k, l: l, m: m, seed: seed, tNode: pickThreshold(k), tClus: pickThreshold(l)}, nil
 }
 
 // Len returns the schedule length.

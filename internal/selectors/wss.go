@@ -11,6 +11,7 @@ import "fmt"
 type WSS struct {
 	n, k, m int
 	seed    uint64
+	t       uint64 // precomputed pick threshold for 1/k inclusion
 }
 
 const saltWSS = 0x5753535f73616c74 // "WSS_salt"
@@ -30,7 +31,7 @@ func NewWSS(n, k int, factor float64, seed uint64) (*WSS, error) {
 	if m < k {
 		m = k
 	}
-	return &WSS{n: n, k: k, m: m, seed: seed}, nil
+	return &WSS{n: n, k: k, m: m, seed: seed, t: pickThreshold(k)}, nil
 }
 
 // Len returns the schedule length.
@@ -52,8 +53,15 @@ type PairSelector interface {
 	ContainsPair(round, id, cluster int) bool
 }
 
-// Lift adapts an unclustered Selector to the PairSelector interface.
-func Lift(s Selector) PairSelector { return lifted{s} }
+// Lift adapts an unclustered Selector to the PairSelector interface. When
+// the underlying family offers prepared rows (RowSelector), the lifted view
+// passes them through, so schedule executors keep the fast path.
+func Lift(s Selector) PairSelector {
+	if rs, ok := s.(RowSelector); ok {
+		return liftedRows{lifted{s}, rs}
+	}
+	return lifted{s}
+}
 
 type lifted struct{ s Selector }
 
@@ -61,3 +69,10 @@ func (l lifted) Len() int { return l.s.Len() }
 func (l lifted) ContainsPair(round, id, _ int) bool {
 	return l.s.Contains(round, id)
 }
+
+type liftedRows struct {
+	lifted
+	rs RowSelector
+}
+
+func (l liftedRows) Row(round int) Row { return l.rs.Row(round) }

@@ -14,9 +14,16 @@ var ErrRoundBudget = errors.New("sim: round budget exhausted")
 
 // Observer receives execution callbacks from a running environment, on the
 // goroutine driving the execution. OnRound fires after every Step (including
-// silent ones; rounds elapsed via Skip are not reported individually);
-// OnPhase fires at every MarkPhase. Implementations must be fast — they sit
-// on the hot path of the simulator.
+// silent ones); OnPhase fires at every MarkPhase. Implementations must be
+// fast — they sit on the hot path of the simulator.
+//
+// Silent stretches collapsed in bulk are reported as one synthesized round
+// boundary each: when the schedule layer declares "nothing happens until
+// round r" (NextActive) or skips provably empty rounds (Skip is not
+// reported), the observer sees a single OnRound(r', 0, 0) carrying the last
+// round of the batch instead of one callback per silent round. Round
+// numbers, statistics and phase marks are unaffected — only the callback
+// granularity changes.
 type Observer interface {
 	// OnRound reports one completed synchronous round: the round number,
 	// the number of transmitters, and the number of successful deliveries.
@@ -37,6 +44,13 @@ type Control struct {
 	MaxRounds int64
 	// Observer, when non-nil, receives per-round and per-phase callbacks.
 	Observer Observer
+	// DisableFastForward makes NextActive replay declared-silent stretches
+	// one round at a time instead of collapsing them. Execution results,
+	// statistics and phase marks are byte-identical either way (that is the
+	// NextActive contract, and what the equivalence tests assert); the flag
+	// exists for those tests and for debugging observers at single-round
+	// granularity.
+	DisableFastForward bool
 }
 
 // stopExecution is the panic payload that unwinds an aborted execution out
@@ -73,8 +87,11 @@ type Env struct {
 	txCount  []int64
 	ctl      Control
 
-	txBuf  []int
-	recBuf []sinr.Reception
+	txBuf   []int
+	recBuf  []sinr.Reception
+	delBuf  []Delivery
+	passBuf []Delivery
+	memo    envMemo
 }
 
 // Stats aggregates execution counters.
@@ -197,7 +214,11 @@ func (e *Env) checkStop() {
 // behaviour, because omitted nodes would only have discarded the message.
 //
 // The round counter advances even when txs is empty (silent rounds cost
-// time in the model too). The returned slice is valid until the next Step.
+// time in the model too). The returned slice — including the Delivery values
+// in it — is valid only until the next Step: the environment reuses one
+// pooled delivery buffer per session, so callers must consume (or copy out)
+// each round's deliveries before advancing the clock. Every caller in this
+// repository does; the steady-state round loop performs zero allocations.
 func (e *Env) Step(txs []int, msgOf func(node int) Msg, listeners []int) []Delivery {
 	e.checkStop()
 	e.rounds++
@@ -210,7 +231,7 @@ func (e *Env) Step(txs []int, msgOf func(node int) Msg, listeners []int) []Deliv
 	}
 	e.recordTx(txs)
 	e.recBuf = e.F.Deliver(txs, listeners, e.recBuf[:0])
-	out := make([]Delivery, 0, len(e.recBuf))
+	out := e.delBuf[:0]
 	for _, r := range e.recBuf {
 		m := msgOf(r.Sender)
 		if err := m.Validate(); err != nil {
@@ -218,6 +239,43 @@ func (e *Env) Step(txs []int, msgOf func(node int) Msg, listeners []int) []Deliv
 		}
 		out = append(out, Delivery{Receiver: r.Receiver, Sender: r.Sender, Msg: m})
 	}
+	e.delBuf = out
+	e.stats.Deliveries += int64(len(out))
+	if e.ctl.Observer != nil {
+		e.ctl.Observer.OnRound(e.rounds, len(txs), len(out))
+	}
+	return out
+}
+
+// StepReplay executes one synchronous round whose reception outcome is
+// already known: recs must be exactly what the engine would compute for
+// this transmitter set (and the caller's listener restriction) — i.e. a
+// capture from a previous Step with identical transmitters and listeners on
+// the same engine. Reception is a pure function of those inputs, so the
+// schedule layers use StepReplay to skip the physical-layer computation on
+// repeated passes; every other effect of Step (round counter, statistics,
+// energy accounting, message construction and validation, observer
+// callback, the pooled result buffer) is identical.
+func (e *Env) StepReplay(txs []int, recs []sinr.Reception, msgOf func(node int) Msg) []Delivery {
+	e.checkStop()
+	e.rounds++
+	e.stats.Transmissions += int64(len(txs))
+	if len(txs) == 0 {
+		if e.ctl.Observer != nil {
+			e.ctl.Observer.OnRound(e.rounds, 0, 0)
+		}
+		return nil
+	}
+	e.recordTx(txs)
+	out := e.delBuf[:0]
+	for _, r := range recs {
+		m := msgOf(r.Sender)
+		if err := m.Validate(); err != nil {
+			panic(err) // programming error: oversized message
+		}
+		out = append(out, Delivery{Receiver: r.Receiver, Sender: r.Sender, Msg: m})
+	}
+	e.delBuf = out
 	e.stats.Deliveries += int64(len(out))
 	if e.ctl.Observer != nil {
 		e.ctl.Observer.OnRound(e.rounds, len(txs), len(out))
@@ -245,8 +303,55 @@ func (e *Env) Skip(k int64) {
 	e.rounds += k
 }
 
+// NextActive declares that no node transmits in any round strictly before
+// the absolute round r: the rounds between the current round and r are
+// provably silent, so the environment collapses them in one Skip and the
+// next Step executes round r. Schedule layers call it when the transmission
+// schedule lets them prove silence ahead of time (no scheduled sender, an
+// empty sender set, or a wholly silent pass).
+//
+// The collapsed rounds are accounted exactly — Stats.Rounds, phase marks
+// and the round budget behave byte-identically to stepping through each
+// silent round — and the observer receives one synthesized round boundary
+// (transmitters = 0, deliveries = 0) for the whole batch, carrying the last
+// skipped round. A target at or before the next round is a no-op, so
+// callers may flush unconditionally. Control.DisableFastForward switches to
+// the naive one-round-at-a-time replay.
+func (e *Env) NextActive(r int64) {
+	k := r - 1 - e.rounds
+	if k <= 0 {
+		return
+	}
+	if e.ctl.DisableFastForward {
+		for ; k > 0; k-- {
+			e.checkStop()
+			e.rounds++
+			if e.ctl.Observer != nil {
+				e.ctl.Observer.OnRound(e.rounds, 0, 0)
+			}
+		}
+		return
+	}
+	e.Skip(k)
+	if e.ctl.Observer != nil {
+		e.ctl.Observer.OnRound(e.rounds, 0, 0)
+	}
+}
+
 // TxBuf returns a reusable scratch slice for building transmitter sets.
 func (e *Env) TxBuf() []int { return e.txBuf[:0] }
 
 // SetTxBuf stores the scratch slice back (callers may grow it).
 func (e *Env) SetTxBuf(b []int) { e.txBuf = b }
+
+// PassBuf returns the execution's shared delivery-accumulation buffer,
+// reset to length zero. Schedule executors collect one full pass's
+// deliveries in it, so the returned slice of one pass is valid only until
+// the next pass starts on this environment; callers consume each pass's
+// deliveries before starting another (every caller in this repository
+// does). Like Step's buffer, it exists to keep the steady-state round loop
+// allocation-free.
+func (e *Env) PassBuf() []Delivery { return e.passBuf[:0] }
+
+// SetPassBuf stores the (possibly grown) buffer back after a pass.
+func (e *Env) SetPassBuf(b []Delivery) { e.passBuf = b }

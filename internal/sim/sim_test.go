@@ -135,13 +135,113 @@ func TestStepListenersSubset(t *testing.T) {
 }
 
 func TestDeliveriesInvalidatedByNextStep(t *testing.T) {
-	// Documented contract: the returned slice is fresh per call, but the
-	// underlying reception buffer is reused; deliveries are value copies so
-	// earlier results stay correct.
+	// Documented contract: the returned slice is backed by a per-session
+	// pooled buffer, so the next Step reuses it. Callers must consume each
+	// round's deliveries before advancing the clock; a value copied out
+	// stays intact.
 	e := testEnv(t, 0, 0, 0.5, 0)
 	first := e.Step([]int{0}, func(int) Msg { return Msg{Kind: KindHello, A: 1} }, nil)
+	copied := first[0]
 	_ = e.Step([]int{1}, func(int) Msg { return Msg{Kind: KindHello, A: 2} }, nil)
-	if first[0].Msg.A != 1 {
-		t.Error("earlier deliveries must remain intact")
+	if copied.Msg.A != 1 {
+		t.Error("copied-out delivery must remain intact")
+	}
+	if first[0].Msg.A != 2 {
+		t.Error("returned slice must be backed by the pooled buffer (reused by the next Step)")
+	}
+}
+
+func TestNextActive(t *testing.T) {
+	e := testEnv(t, 0, 0, 0.5, 0)
+	e.NextActive(11) // rounds 1..10 silent; next Step is round 11
+	if e.Rounds() != 10 {
+		t.Fatalf("rounds = %d, want 10", e.Rounds())
+	}
+	e.NextActive(5) // past target: no-op
+	e.NextActive(11)
+	if e.Rounds() != 10 {
+		t.Fatalf("rounds = %d after no-op targets, want 10", e.Rounds())
+	}
+	ds := e.Step([]int{0}, func(int) Msg { return Msg{Kind: KindHello} }, nil)
+	if e.Rounds() != 11 || len(ds) != 1 {
+		t.Fatalf("rounds = %d deliveries = %d after fast-forwarded Step", e.Rounds(), len(ds))
+	}
+}
+
+func TestNextActiveObserverAndParity(t *testing.T) {
+	type boundary struct {
+		round int64
+		tx    int
+	}
+	run := func(disable bool) (rounds int64, seen []boundary) {
+		e := testEnv(t, 0, 0, 0.5, 0)
+		e.SetControl(Control{
+			DisableFastForward: disable,
+			Observer: obsFuncs{onRound: func(r int64, tx, del int) {
+				seen = append(seen, boundary{r, tx})
+			}},
+		})
+		e.NextActive(4)
+		e.Step([]int{0}, func(int) Msg { return Msg{Kind: KindHello} }, nil)
+		e.NextActive(9)
+		return e.Rounds(), seen
+	}
+	fastRounds, fast := run(false)
+	naiveRounds, naive := run(true)
+	if fastRounds != 8 || naiveRounds != 8 {
+		t.Fatalf("rounds: fast %d naive %d, want 8", fastRounds, naiveRounds)
+	}
+	// Fast-forward: one synthesized boundary per batch (round 3, then the
+	// Step at 4, then round 8).
+	wantFast := []boundary{{3, 0}, {4, 1}, {8, 0}}
+	if len(fast) != len(wantFast) {
+		t.Fatalf("fast boundaries = %+v", fast)
+	}
+	for i, w := range wantFast {
+		if fast[i] != w {
+			t.Fatalf("fast boundaries = %+v, want %+v", fast, wantFast)
+		}
+	}
+	// Naive replay: every silent round reported individually.
+	wantNaive := []boundary{{1, 0}, {2, 0}, {3, 0}, {4, 1}, {5, 0}, {6, 0}, {7, 0}, {8, 0}}
+	if len(naive) != len(wantNaive) {
+		t.Fatalf("naive boundaries = %+v", naive)
+	}
+	for i, w := range wantNaive {
+		if naive[i] != w {
+			t.Fatalf("naive boundaries = %+v, want %+v", naive, wantNaive)
+		}
+	}
+}
+
+// obsFuncs adapts plain functions to Observer for the sim tests.
+type obsFuncs struct {
+	onRound func(round int64, transmitters, deliveries int)
+	onPhase func(label string, round int64)
+}
+
+func (o obsFuncs) OnRound(round int64, transmitters, deliveries int) {
+	if o.onRound != nil {
+		o.onRound(round, transmitters, deliveries)
+	}
+}
+
+func (o obsFuncs) OnPhase(label string, round int64) {
+	if o.onPhase != nil {
+		o.onPhase(label, round)
+	}
+}
+
+func TestNextActiveBudget(t *testing.T) {
+	for _, disable := range []bool{false, true} {
+		e := testEnv(t, 0, 0, 0.5, 0)
+		e.SetControl(Control{MaxRounds: 5, DisableFastForward: disable})
+		err := catchStop(func() { e.NextActive(100) })
+		if err != ErrRoundBudget {
+			t.Fatalf("disable=%v: err = %v, want ErrRoundBudget", disable, err)
+		}
+		if e.Rounds() != 5 {
+			t.Fatalf("disable=%v: rounds = %d, want clock stopped at budget 5", disable, e.Rounds())
+		}
 	}
 }

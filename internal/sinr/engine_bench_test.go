@@ -56,6 +56,49 @@ func BenchmarkDeliver(b *testing.B) {
 	}
 }
 
+// BenchmarkDeliverTx sweeps the transmitter-set size at fixed n, the regime
+// map of the transmitter-centric path: |txs| ∈ {1, 16} exercises candidate
+// enumeration (cost scales with activity, not n), n/8 the dense
+// accumulation / grid paths. These numbers, together with BenchmarkDeliver,
+// locate the dense↔sparse crossover that SparseAutoThreshold encodes.
+func BenchmarkDeliverTx(b *testing.B) {
+	for _, n := range []int{1024, 4096, 16384} {
+		pts, _ := benchDeployment(n)
+		for _, k := range []int{1, 16, n / 8} {
+			txs := make([]int, k)
+			for i := range txs {
+				txs[i] = (i * 7919) % n
+			}
+			if n <= 4096 {
+				b.Run(fmt.Sprintf("dense/n=%d/txs=%d", n, k), func(b *testing.B) {
+					f, err := NewField(DefaultParams(), pts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					var dst []Reception
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						dst = f.Deliver(txs, nil, dst[:0])
+					}
+					_ = dst
+				})
+			}
+			b.Run(fmt.Sprintf("sparse/n=%d/txs=%d", n, k), func(b *testing.B) {
+				f, err := NewSparseField(DefaultParams(), pts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var dst []Reception
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					dst = f.Deliver(txs, nil, dst[:0])
+				}
+				_ = dst
+			})
+		}
+	}
+}
+
 // BenchmarkEngineConstruction measures field build cost: the dense engine
 // pays O(n²) up front, the sparse engine O(n).
 func BenchmarkEngineConstruction(b *testing.B) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"dcluster/internal/geom"
@@ -42,9 +43,28 @@ func TestPropertyDenseSparseEquivalence(t *testing.T) {
 					t.Fatal(err)
 				}
 				rng := rand.New(rand.NewSource(int64(n) * 31))
-				// Transmitter densities from a lone speaker to a full
-				// shout-down; both grid and direct-scan paths are exercised
-				// (the cutover sits at smallTxCutoff).
+				// Transmitter regimes from a silent round through a lone
+				// speaker and small fixed sets (the transmitter-centric
+				// candidate paths) up to a full shout-down; grid and
+				// direct-scan paths are both exercised (the cutover sits at
+				// smallTxCutoff), as are enumerated candidates, the
+				// cell-stamp listener filter and the full scan.
+				if got := sparse.Deliver(nil, nil, nil); len(got) != 0 {
+					t.Fatalf("|T|=0: sparse delivered %v", got)
+				}
+				fixed := [][]int{
+					{rng.Intn(n)},                         // lone speaker
+					{0, n / 2, n - 1},                     // 3 spread txs
+					pickDistinct(rng, n, 8),               // small set
+					pickDistinct(rng, n, smallTxCutoff+2), // just past the direct-scan cutoff
+				}
+				for trial, txs := range fixed {
+					want := dense.Deliver(txs, nil, nil)
+					got := sparse.Deliver(txs, nil, nil)
+					if !sameReceptions(want, got) {
+						t.Fatalf("fixed trial %d (|T|=%d): dense %v != sparse %v", trial, len(txs), want, got)
+					}
+				}
 				for trial := 0; trial < 12; trial++ {
 					frac := []float64{0.005, 0.02, 0.1, 0.25, 0.5, 1}[trial%6]
 					var txs []int
@@ -199,6 +219,62 @@ func TestSparseFarRadiusValidation(t *testing.T) {
 	}
 	if got := sparse.FarRadius(); got != 3 {
 		t.Fatalf("FarRadius = %v, want 3", got)
+	}
+}
+
+// pickDistinct draws k distinct node indices (ascending).
+func pickDistinct(rng *rand.Rand, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	perm := rng.Perm(n)[:k]
+	sort.Ints(perm)
+	return perm
+}
+
+// TestTxCentricMatchesFullScan pins the transmitter-centric pruning against
+// the unpruned scan within the dense engine itself: a distance-matrix field
+// (which has no positions, hence no listener index) built from the exact
+// pairwise distances of a positional field must deliver identically across
+// every transmitter regime. Any wrong pruning of a would-be receiver shows
+// up here directly, without the sparse engine in the loop.
+func TestTxCentricMatchesFullScan(t *testing.T) {
+	n := 300
+	pts := geom.UniformDisk(n, math.Sqrt(float64(n)/10), 23)
+	params := DefaultParams()
+	withIdx, err := NewField(params, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := make([][]float64, n)
+	for v := range dist {
+		dist[v] = make([]float64, n)
+		for u := range dist[v] {
+			if u != v {
+				dist[v][u] = geom.Dist(pts[v], pts[u])
+			}
+		}
+	}
+	fullScan, err := NewFieldFromDistances(params, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullScan.lidx != nil || withIdx.lidx == nil {
+		t.Fatal("test preconditions: positional field must have a listener index, distance field must not")
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		k := []int{1, 2, 5, 12, 40, n / 2}[trial%6]
+		txs := pickDistinct(rng, n, k)
+		var listeners []int
+		if trial%4 == 2 {
+			listeners = pickDistinct(rng, n, n/3)
+		}
+		want := fullScan.Deliver(txs, listeners, nil)
+		got := withIdx.Deliver(txs, listeners, nil)
+		if !sameReceptions(want, got) {
+			t.Fatalf("trial %d (|T|=%d): full scan %v != tx-centric %v", trial, k, want, got)
+		}
 	}
 }
 

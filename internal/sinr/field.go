@@ -28,7 +28,14 @@ type Field struct {
 	gain   [][]float64  // gain[v][u]: received power at u from transmitter v
 	pos    []geom.Point // nil for distance-matrix fields
 
+	lidx *listenerIndex // transmitter-centric listener index; nil without positions
+
 	scratch []bool // reusable transmitter bitmap for Deliver
+	cand    *candScratch
+
+	// Transposed-accumulation scratch (see deliverTransposed).
+	accTot, accBest []float64
+	accBestV        []int32
 }
 
 // NewField builds a field from explicit positions.
@@ -50,6 +57,7 @@ func NewField(params Params, pos []geom.Point) (*Field, error) {
 			f.gain[v][u] = gainAt(params, d)
 		}
 	}
+	f.lidx = newListenerIndex(newCellGeom(params.Range(), f.pos), f.pos)
 	return f, nil
 }
 
@@ -132,6 +140,13 @@ type Reception struct {
 // (half-duplex). Since β > 1, at most the strongest incoming signal can
 // clear the threshold, so exactly one check per listener is needed.
 //
+// When the transmitter set is small relative to the listener count, Deliver
+// is transmitter-centric: candidate listeners are enumerated from the grid
+// cells around the transmitters (or, given an explicit listener slice,
+// out-of-range listeners are skipped by one cell-stamp lookup each), so the
+// round cost scales with the activity, not with n. The per-listener decision
+// code is unchanged, so results are bit-identical to the full scan.
+//
 // The result slice is appended to dst (which may be nil) and returned, so
 // hot loops can reuse capacity.
 func (f *Field) Deliver(transmitters []int, listeners []int, dst []Reception) []Reception {
@@ -142,12 +157,137 @@ func (f *Field) Deliver(transmitters []int, listeners []int, dst []Reception) []
 	for _, v := range transmitters {
 		isTx[v] = true
 	}
-	check := func(u int) {
+	count := f.n
+	if listeners != nil {
+		count = len(listeners)
+	}
+	// Dense rounds — the checked listeners cover most of the field — run
+	// transposed: per transmitter one sequential sweep over its gain row
+	// accumulates every listener's interference total and strongest signal,
+	// then one emission sweep applies the threshold. Same summation order
+	// and comparisons as the per-listener scan (bit-identical results), but
+	// sequential memory instead of one gathered column read per (listener,
+	// transmitter) pair.
+	if len(transmitters) >= 2 && 2*count > f.n {
+		dst = f.deliverTransposed(transmitters, listeners, dst)
+		for _, v := range transmitters {
+			isTx[v] = false
+		}
+		return dst
+	}
+	var cs *candScratch
+	if f.lidx != nil && txCandCells*len(transmitters) < count {
+		cs = f.candScratch()
+		total := f.lidx.mark(transmitters, cs)
+		if listeners == nil && total*enumDivisor <= count {
+			listeners = f.lidx.gather(cs)
+			cs = nil // enumerated candidates need no per-listener filter
+		}
+	}
+	if listeners == nil {
+		for u := 0; u < f.n; u++ {
+			if isTx[u] || (cs != nil && f.lidx.skip(u, cs)) {
+				continue
+			}
+			if v, ok := f.decide(u, transmitters); ok {
+				dst = append(dst, Reception{Receiver: u, Sender: v})
+			}
+		}
+	} else {
+		for _, u := range listeners {
+			if isTx[u] || (cs != nil && f.lidx.skip(u, cs)) {
+				continue
+			}
+			if v, ok := f.decide(u, transmitters); ok {
+				dst = append(dst, Reception{Receiver: u, Sender: v})
+			}
+		}
+	}
+	for _, v := range transmitters {
+		isTx[v] = false
+	}
+	return dst
+}
+
+// deliverTransposed is the dense-round Deliver core: transmitters' gain
+// rows are accumulated into per-listener totals/maxima (in transmitter
+// order, matching the per-listener scan's float summation and first-wins
+// argmax exactly), then the β threshold is applied in listener order. The
+// caller has already marked isTx.
+func (f *Field) deliverTransposed(transmitters []int, listeners []int, dst []Reception) []Reception {
+	if f.accTot == nil {
+		f.accTot = make([]float64, f.n)
+		f.accBest = make([]float64, f.n)
+		f.accBestV = make([]int32, f.n)
+	}
+	tot, best, bestV := f.accTot, f.accBest, f.accBestV
+	for t, v := range transmitters {
+		row := f.gain[v]
+		if t == 0 {
+			// First transmitter initialises the accumulators — no clearing
+			// pass is needed between rounds.
+			v32 := int32(v)
+			for u := 0; u < f.n; u++ {
+				g := row[u]
+				tot[u] = g
+				best[u] = g
+				bestV[u] = v32
+			}
+			continue
+		}
+		v32 := int32(v)
+		for u := 0; u < f.n; u++ {
+			g := row[u]
+			tot[u] += g
+			if g > best[u] {
+				best[u] = g
+				bestV[u] = v32
+			}
+		}
+	}
+	isTx := f.scratch
+	beta, noise := f.params.Beta, f.params.Noise
+	emit := func(u int) {
 		if isTx[u] {
 			return
 		}
-		var total, best float64
-		bestV := -1
+		b := best[u]
+		if b > 0 && b >= beta*(noise+tot[u]-b) {
+			dst = append(dst, Reception{Receiver: u, Sender: int(bestV[u])})
+		}
+	}
+	if listeners == nil {
+		for u := 0; u < f.n; u++ {
+			emit(u)
+		}
+	} else {
+		for _, u := range listeners {
+			emit(u)
+		}
+	}
+	return dst
+}
+
+// decide resolves listener u for one round: the winning sender, if any.
+// For geometric fields the gain matrix is symmetric (d(u,v) = d(v,u) and
+// both entries come from the same formula), so u's incoming gains are read
+// from row u — sequential memory — instead of one column element per
+// transmitter row. Distance-matrix fields keep the column access (symmetry
+// of the input matrix is documented but not enforced).
+func (f *Field) decide(u int, transmitters []int) (int, bool) {
+	var total, best float64
+	bestV := -1
+	if f.pos != nil {
+		row := f.gain[u]
+		for _, v := range transmitters {
+			g := row[v]
+			total += g
+			if g > best {
+				best = g
+				bestV = v
+			}
+		}
+	} else {
 		for _, v := range transmitters {
 			g := f.gain[v][u]
 			total += g
@@ -156,23 +296,11 @@ func (f *Field) Deliver(transmitters []int, listeners []int, dst []Reception) []
 				bestV = v
 			}
 		}
-		if bestV >= 0 && best >= f.params.Beta*(f.params.Noise+total-best) {
-			dst = append(dst, Reception{Receiver: u, Sender: bestV})
-		}
 	}
-	if listeners == nil {
-		for u := 0; u < f.n; u++ {
-			check(u)
-		}
-	} else {
-		for _, u := range listeners {
-			check(u)
-		}
+	if bestV >= 0 && best >= f.params.Beta*(f.params.Noise+total-best) {
+		return bestV, true
 	}
-	for _, v := range transmitters {
-		isTx[v] = false
-	}
-	return dst
+	return -1, false
 }
 
 // txScratch returns a reusable all-false scratch bitmap of size n.
@@ -183,12 +311,23 @@ func (f *Field) txScratch() []bool {
 	return f.scratch
 }
 
+// candScratch returns the session's transmitter-centric scratch.
+func (f *Field) candScratch() *candScratch {
+	if f.cand == nil {
+		f.cand = f.lidx.newCandScratch()
+	}
+	return f.cand
+}
+
 // Session returns a view of the field with its own Deliver scratch. The gain
-// matrix and positions are shared (they are immutable after construction),
-// so sessions are cheap and may Deliver concurrently with each other.
+// matrix, positions and listener index are shared (they are immutable after
+// construction), so sessions are cheap and may Deliver concurrently with
+// each other.
 func (f *Field) Session() Engine {
 	g := *f
 	g.scratch = nil
+	g.cand = nil
+	g.accTot, g.accBest, g.accBestV = nil, nil, nil
 	return &g
 }
 

@@ -69,7 +69,11 @@ type SparseField struct {
 	// level of the two-level far-field bound.
 	nsx, nsy int
 
-	posCell []int32 // static: grid cell of each node
+	posCell []int32 // static: grid cell of each node (aliases lidx.cellOfNode)
+
+	// lidx is the static cell→nodes index of the transmitter-centric Deliver
+	// path, built over the same grid geometry.
+	lidx *listenerIndex
 
 	// Static per-offset gain bounds for the fine level of the tail bound:
 	// all grid cells are congruent, so the min/max distance between two
@@ -111,6 +115,10 @@ type sparseScratch struct {
 	superCount []int32
 	superDirty []int32
 
+	// cand is the transmitter-centric candidate scratch (cell stamps and the
+	// gathered listener buffer).
+	cand *candScratch
+
 	// Per-listener-cell conservative tail bounds (upper and lower), computed
 	// lazily during a round and cached behind an epoch stamp. Accessed with
 	// atomics: concurrent workers may recompute a cell's bounds redundantly,
@@ -148,29 +156,18 @@ func NewSparseField(params Params, pos []geom.Point) (*SparseField, error) {
 	return f, nil
 }
 
-// initGrid fixes the cell geometry: cell side = Range (the candidate-sender
-// query radius), grown if needed to cap the cell count near 8·n so sparse
-// deployments over huge areas stay linear in memory.
+// initGrid fixes the cell geometry (shared with the listener index: cell
+// side = Range, the candidate-sender query radius, grown if needed to cap
+// the cell count near 8·n so sparse deployments over huge areas stay linear
+// in memory) and builds the static per-node and per-cell indexes.
 func (f *SparseField) initGrid() {
-	min, max := geom.BoundingBox(f.pos)
-	f.min = min
-	f.cell = f.params.Range()
-	w, h := max.X-min.X, max.Y-min.Y
-	for {
-		f.nx = int(w/f.cell) + 1
-		f.ny = int(h/f.cell) + 1
-		if f.n == 0 || f.nx*f.ny <= 8*f.n+64 {
-			break
-		}
-		f.cell *= 2
-	}
+	g := newCellGeom(f.params.Range(), f.pos)
+	f.min, f.cell, f.nx, f.ny = g.min, g.cell, g.nx, g.ny
 	f.nsx = (f.nx + superSide - 1) / superSide
 	f.nsy = (f.ny + superSide - 1) / superSide
 	f.buildFineTables()
-	f.posCell = make([]int32, f.n)
-	for i, p := range f.pos {
-		f.posCell[i] = int32(f.cellOf(p))
-	}
+	f.lidx = newListenerIndex(g, f.pos)
+	f.posCell = f.lidx.cellOfNode
 	f.scr = f.newScratch()
 }
 
@@ -181,6 +178,7 @@ func (f *SparseField) newScratch() *sparseScratch {
 		cellEnd:    make([]int32, f.nx*f.ny),
 		isTx:       make([]bool, f.n),
 		superCount: make([]int32, f.nsx*f.nsy),
+		cand:       f.lidx.newCandScratch(),
 		cellTail:   make([]uint64, f.nx*f.ny),
 		cellTailLo: make([]uint64, f.nx*f.ny),
 		tailStamp:  make([]int64, f.nx*f.ny),
@@ -385,21 +383,44 @@ func (f *SparseField) Deliver(transmitters []int, listeners []int, dst []Recepti
 	for _, v := range transmitters {
 		s.isTx[v] = true
 	}
-	defer func() {
-		for _, v := range transmitters {
-			s.isTx[v] = false
-		}
-	}()
+	useGrid := len(transmitters) > smallTxCutoff
+	if useGrid {
+		f.bucketTx(transmitters)
+	}
+	dst = f.deliverMarked(transmitters, listeners, dst, useGrid)
+	if useGrid {
+		f.resetBuckets()
+	}
+	for _, v := range transmitters {
+		s.isTx[v] = false
+	}
+	return dst
+}
 
+// deliverMarked is the Deliver core, entered with the transmitter bitmap
+// (and, on the grid path, the CSR buckets) already set up; splitting the
+// set-up/tear-down out keeps the hot path free of deferred closures, so a
+// steady-state round allocates nothing.
+func (f *SparseField) deliverMarked(transmitters []int, listeners []int, dst []Reception, useGrid bool) []Reception {
+	s := f.scr
 	count := f.n
 	if listeners != nil {
 		count = len(listeners)
 	}
 
-	useGrid := len(transmitters) > smallTxCutoff
-	if useGrid {
-		f.bucketTx(transmitters)
-		defer f.resetBuckets()
+	// Transmitter-centric pruning: stamp the cells around the transmitters;
+	// listeners outside them cannot receive (see txcentric.go). With few
+	// enough candidates and no explicit listener slice, enumerate them
+	// outright so the round cost scales with the activity, not with n.
+	var cs *candScratch
+	if txCandCells*len(transmitters) < count {
+		cs = s.cand
+		total := f.lidx.mark(transmitters, cs)
+		if listeners == nil && total*enumDivisor <= count {
+			listeners = f.lidx.gather(cs)
+			count = len(listeners)
+			cs = nil // enumerated candidates need no per-listener filter
+		}
 	}
 
 	if count < parallelCutoff || f.workers < 2 {
@@ -409,6 +430,9 @@ func (f *SparseField) Deliver(transmitters []int, listeners []int, dst []Recepti
 				u = listeners[i]
 			}
 			if s.isTx[u] {
+				continue
+			}
+			if cs != nil && f.lidx.skip(u, cs) {
 				continue
 			}
 			if v, ok := f.checkListener(u, transmitters, useGrid); ok {
@@ -431,6 +455,10 @@ func (f *SparseField) Deliver(transmitters []int, listeners []int, dst []Recepti
 		s.chunkRes = append(s.chunkRes, nil)
 	}
 	per := (count + chunks - 1) / chunks
+	// Rebind the captured variables locally: the goroutine closure would
+	// otherwise force heap cells for the reassigned outer variables on every
+	// Deliver call, including the (dominant) serial rounds.
+	lst, filter := listeners, cs
 	var wg sync.WaitGroup
 	for c := 0; c < chunks; c++ {
 		lo := c * per
@@ -448,10 +476,13 @@ func (f *SparseField) Deliver(transmitters []int, listeners []int, dst []Recepti
 			out := s.chunkRes[c]
 			for i := lo; i < hi; i++ {
 				u := i
-				if listeners != nil {
-					u = listeners[i]
+				if lst != nil {
+					u = lst[i]
 				}
 				if s.isTx[u] {
+					continue
+				}
+				if filter != nil && f.lidx.skip(u, filter) {
 					continue
 				}
 				if v, ok := f.checkListener(u, transmitters, useGrid); ok {

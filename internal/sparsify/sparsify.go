@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dcluster/internal/comm"
 	"dcluster/internal/config"
 	"dcluster/internal/mis"
 	"dcluster/internal/proximity"
@@ -40,6 +41,27 @@ type State struct {
 	SubtreeSize []int        // completed subtree size (1 + children's sizes)
 	Children    [][]ChildRef // parent-side child records, acquisition order
 	Batches     []Batch      // removal batches in global time order
+
+	// events caches per-selector schedule lists across the execution's
+	// proximity constructions (see comm.EventLists).
+	events map[selectors.PairSelector]*comm.EventLists
+}
+
+// eventLists returns the execution-scoped schedule cache for sel, creating
+// it on first use. An explicit cache in Call.Events takes precedence.
+func (st *State) eventLists(call Call) *comm.EventLists {
+	if call.Events != nil {
+		return call.Events
+	}
+	if st.events == nil {
+		st.events = map[selectors.PairSelector]*comm.EventLists{}
+	}
+	el, ok := st.events[call.Sched]
+	if !ok {
+		el = comm.NewEventLists(call.Sched)
+		st.events[call.Sched] = el
+	}
+	return el
 }
 
 // NewState creates bookkeeping for n nodes.
@@ -69,6 +91,10 @@ type Call struct {
 	Clustered bool
 	// Gamma is the iteration count Λ (the density bound being reduced).
 	Gamma int
+	// Events optionally shares a per-selector schedule cache across calls
+	// that outlive this State (e.g. the radius-reduction loop); when nil,
+	// the State hosts one per selector.
+	Events *comm.EventLists
 }
 
 // Result reports one call's outcome.
@@ -133,7 +159,7 @@ func iterate(
 	clusterOf func(int) int32,
 ) (bool, error) {
 	activeSet := *current
-	g, err := proximity.Construct(env, call.Cfg, call.Sched, activeSet, clusterOf, call.Clustered)
+	g, err := proximity.Construct(env, call.Cfg, call.Sched, st.eventLists(call), activeSet, clusterOf, call.Clustered)
 	if err != nil {
 		return false, fmt.Errorf("sparsify: proximity construction: %w", err)
 	}

@@ -53,8 +53,9 @@ type PhaseMark struct {
 type RunOption func(*runConfig)
 
 type runConfig struct {
-	maxRounds int64
-	observer  Observer
+	maxRounds     int64
+	observer      Observer
+	noFastForward bool
 }
 
 // WithMaxRounds imposes a hard, deterministic round budget: the execution
@@ -67,6 +68,20 @@ func WithMaxRounds(k int64) RunOption {
 // WithObserver attaches per-round and per-phase callbacks to the execution.
 func WithObserver(o Observer) RunOption {
 	return func(c *runConfig) { c.observer = o }
+}
+
+// WithFastForward toggles silent-round fast-forwarding (default on): the
+// schedule layers declare provably silent stretches ahead of time and the
+// environment collapses them in bulk instead of stepping through each empty
+// round. Results, Stats and phase marks are byte-identical either way —
+// that is the contract the fast-forward equivalence tests pin down. The
+// only observable difference is observer granularity: with fast-forwarding
+// on, a collapsed batch is reported as one synthesized OnRound(r, 0, 0)
+// carrying the batch's last round, instead of one callback per silent
+// round. Disabling it exists for equivalence testing, and for debugging
+// observers that want every silent round individually.
+func WithFastForward(enabled bool) RunOption {
+	return func(c *runConfig) { c.noFastForward = !enabled }
 }
 
 // Result is the outcome of one Run. Stats and Marks are always populated
@@ -252,7 +267,12 @@ func (n *Network) Run(ctx context.Context, task Task, opts ...RunOption) (*Resul
 	if err != nil {
 		return nil, err
 	}
-	env.SetControl(sim.Control{Ctx: ctx, MaxRounds: rc.maxRounds, Observer: rc.observer})
+	env.SetControl(sim.Control{
+		Ctx:                ctx,
+		MaxRounds:          rc.maxRounds,
+		Observer:           rc.observer,
+		DisableFastForward: rc.noFastForward,
+	})
 
 	res := &Result{Algorithm: task.Name()}
 	err, aborted := runGuarded(func() error { return task.run(n, env, res) })

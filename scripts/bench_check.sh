@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# bench_check.sh — benchmark regression gate for the CI bench job.
+#
+# Usage:
+#   scripts/bench_check.sh <baseline.json> [threshold_pct]
+#   scripts/bench_check.sh --git <base-ref> [threshold_pct]
+#
+# Runs the gated benchmarks (BenchmarkDeliver, BenchmarkRunOverhead) at
+# -benchtime=20x -count=3, takes the per-benchmark minimum (the noise on a
+# shared runner is one-sided), and compares each ns_per_op against a
+# baseline in the benchstat manner (per-benchmark ratio against a fixed
+# threshold; the external benchstat binary is not required):
+#
+#   - File mode compares against a BENCH_PR.json written by bench.sh (whose
+#     gated rows are also 20x samples). Only meaningful on the machine that
+#     produced the file — absolute ns/op do not transfer across hardware.
+#   - --git mode builds and runs the same gated benchmarks at <base-ref> in
+#     a temporary worktree first, so baseline and head are measured on the
+#     same machine in the same job. This is what CI uses.
+#
+# Fails when any gated benchmark regresses by more than threshold_pct
+# (default 20%), or when BenchmarkRunOverhead/step reports non-zero
+# allocs/op — the allocation-free round loop is part of the gate. New
+# benchmarks (absent from the baseline) pass; improvements always pass.
+set -euo pipefail
+
+gate_pkgs=". ./internal/sinr/"
+gate_regex='^(BenchmarkDeliver|BenchmarkRunOverhead)$'
+
+mode="file"
+if [ "${1:-}" = "--git" ]; then
+    mode="git"
+    shift
+fi
+ref_or_file="${1:?usage: bench_check.sh <baseline.json>|--git <base-ref> [threshold_pct]}"
+threshold="${2:-20}"
+cd "$(dirname "$0")/.."
+
+run_gated() { # run_gated <dir> <out> — per-benchmark min of 3 runs
+    (cd "$1" && go test -bench="$gate_regex" -benchtime=20x -benchmem -count=3 -run='^$' $gate_pkgs) |
+        tee /dev/stderr |
+        awk '/^Benchmark/ { name = $1
+             if (!(name in best) || $3 + 0 < best[name] + 0) { best[name] = $3; line[name] = $0 } }
+             END { for (n in line) print line[n] }' > "$2"
+}
+
+raw="$(mktemp)"
+basefile="$(mktemp)"
+trap 'rm -f "$raw" "$basefile"' EXIT
+
+if [ "$mode" = "git" ]; then
+    wt="$(mktemp -d)"
+    trap 'rm -f "$raw" "$basefile"; git worktree remove --force "$wt" >/dev/null 2>&1 || true; rm -rf "$wt"' EXIT
+    git worktree add --detach "$wt" "$ref_or_file" >/dev/null
+    echo "== baseline ($ref_or_file) =="
+    run_gated "$wt" "$basefile.raw"
+    # Convert raw bench lines to the minimal JSON the comparator reads.
+    awk '/^Benchmark/ { name = $1; sub(/-[0-9]+$/, "", name);
+         printf "{\"name\": \"%s\", \"ns_per_op\": %s}\n", name, $3 }' "$basefile.raw" > "$basefile"
+    rm -f "$basefile.raw"
+else
+    cp "$ref_or_file" "$basefile"
+fi
+
+echo "== head =="
+run_gated . "$raw"
+
+awk -v baseline="$basefile" -v threshold="$threshold" '
+BEGIN {
+    # Parse the baseline JSON (one benchmark object per line, as written by
+    # bench.sh and by the --git converter above).
+    while ((getline line < baseline) > 0) {
+        if (match(line, /"name": "[^"]+"/)) {
+            name = substr(line, RSTART + 9, RLENGTH - 10)
+            if (match(line, /"ns_per_op": [0-9.e+]+/))
+                base[name] = substr(line, RSTART + 13, RLENGTH - 13)
+        }
+    }
+    close(baseline)
+    failures = 0
+}
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = $3 + 0
+    # Allocation gate for the round loop: metric value/unit pairs start at
+    # field 5 ($3/$4 are the ns/op pair).
+    for (i = 5; i + 1 <= NF; i += 2) {
+        if ($(i + 1) == "allocs/op" && name == "BenchmarkRunOverhead/step" && $i + 0 != 0) {
+            printf "FAIL %s: %s allocs/op, want 0\n", name, $i
+            failures++
+        }
+    }
+    if (!(name in base)) { printf "  new %-50s %12.0f ns/op (no baseline)\n", name, ns; next }
+    b = base[name] + 0
+    if (b <= 0) next
+    delta = (ns - b) * 100 / b
+    status = "ok  "
+    if (delta > threshold) { status = "FAIL"; failures++ }
+    printf "%s %-50s %12.0f ns/op vs %12.0f baseline (%+.1f%%)\n", status, name, ns, b, delta
+}
+END {
+    if (failures > 0) {
+        printf "%d benchmark regression(s) beyond %s%%\n", failures, threshold
+        exit 1
+    }
+    print "benchmark gate passed"
+}
+' "$raw"
