@@ -539,5 +539,16 @@ func TestStepSteadyStateZeroAllocs(t *testing.T) {
 		if avg := testing.AllocsPerRun(200, func() { env.Step(nil, nil, nil) }); avg != 0 {
 			t.Errorf("engine=%s: silent Step allocates %.1f objects per round, want 0", kind, avg)
 		}
+		// Dense round: half the network transmitting drives the sparse
+		// engine through its accumulating cell-blocked path, which must be
+		// as allocation-free in steady state as the per-listener path.
+		var dense []int
+		for v := 0; v < len(pts); v += 2 {
+			dense = append(dense, v)
+		}
+		env.Step(dense, msg, nil) // warm the accumulation buffers
+		if avg := testing.AllocsPerRun(200, func() { env.Step(dense, msg, nil) }); avg != 0 {
+			t.Errorf("engine=%s: dense-round Step allocates %.1f objects per round in steady state, want 0", kind, avg)
+		}
 	}
 }

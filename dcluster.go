@@ -23,7 +23,7 @@
 //     listeners: linear memory, scales to 100k+ nodes.
 //
 // Both produce identical reception sets; EngineAuto (the default) picks
-// dense below SparseAutoThreshold (5120) nodes and sparse above.
+// dense below SparseAutoThreshold (3072) nodes and sparse above.
 //
 // # Execution model
 //
@@ -130,17 +130,18 @@ const (
 )
 
 // SparseAutoThreshold is the node count at which EngineAuto switches from
-// the dense gain-matrix engine to the sparse grid engine. Retuned from the
-// post-transposed-Deliver crossover measurements (BenchmarkDeliver /
-// BenchmarkDeliverTx, constant-density disks): the dense engine's
-// sequential row accumulation now wins full rounds (|txs| = n/8) up to
-// ~4096 nodes (3.5 ms vs 4.3 ms per round), the two tie near 5120
-// (~12 ms), and the sparse engine wins from there (n = 8192: 28 ms vs
-// 40 ms — and 8·n² dense memory crosses half a GiB). In the small-|txs|
-// regimes the protocols actually generate, both engines enumerate
-// candidate listeners from the transmitters' grid cells and are within
+// the dense gain-matrix engine to the sparse grid engine. Retuned after the
+// sparse engine's accumulating dense-round path and its quick certain-no /
+// certain-yes tiers landed (BenchmarkDeliver, constant-density disks,
+// min of 3): dense still wins full rounds at n = 2048 (0.75 ms vs 1.03 ms
+// per round), sparse now wins from n = 4096 (2.7 ms vs 3.1 ms, and 7.7 ms
+// vs 13.2 ms at 8192), so the crossover dropped from 5120 to ~3k.
+// End-to-end clustering agrees: dense 9.1 s vs sparse 12.3 s at n = 2048,
+// sparse 34.7 s vs dense 36.4 s at n = 4096, identical outputs. In the
+// small-|txs| regimes the protocols mostly generate, both engines enumerate
+// candidate listeners from the transmitters' grid cells and stay within
 // ~20% of each other at every measured n.
-const SparseAutoThreshold = 5120
+const SparseAutoThreshold = 3072
 
 // Network is a static wireless network instance: node positions, the SINR
 // engine, protocol configuration and ID assignment. All algorithm entry

@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dcluster"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current results")
+
+// Golden-file pins for the experiment tables. Every seed in the Quick
+// configurations is fixed and both engines are deterministic, so the full
+// rendered tables are stable byte-for-byte; a diff here means the protocol
+// or a baseline changed behaviour. Re-pin deliberately with
+// `go test -run TestGoldenTable -update ./internal/exp/`.
+func goldenCompare(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden file\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment tables run full protocol executions")
+	}
+	for _, engine := range []Engine{dcluster.EngineDense, dcluster.EngineSparse} {
+		out, err := Table1(Quick, engine)
+		if err != nil {
+			t.Fatalf("Table1(%v): %v", engine, err)
+		}
+		goldenCompare(t, "table1_"+string(engine)+".golden", out)
+	}
+}
+
+func TestGoldenTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment tables run full protocol executions")
+	}
+	for _, engine := range []Engine{dcluster.EngineDense, dcluster.EngineSparse} {
+		out, err := Table2(Quick, engine)
+		if err != nil {
+			t.Fatalf("Table2(%v): %v", engine, err)
+		}
+		goldenCompare(t, "table2_"+string(engine)+".golden", out)
+	}
+}

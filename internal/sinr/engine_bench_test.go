@@ -25,7 +25,7 @@ func benchDeployment(n int) ([]geom.Point, []int) {
 // matrix crosses 0.5 GiB there); the sparse engine continues into the
 // regime only it can reach.
 func BenchmarkDeliver(b *testing.B) {
-	for _, n := range []int{1024, 4096, 8192, 32768} {
+	for _, n := range []int{1024, 2048, 4096, 8192, 32768} {
 		pts, txs := benchDeployment(n)
 		if n <= 8192 {
 			b.Run(fmt.Sprintf("dense/n=%d", n), func(b *testing.B) {
@@ -89,6 +89,36 @@ func BenchmarkDeliverTx(b *testing.B) {
 					b.Fatal(err)
 				}
 				var dst []Reception
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					dst = f.Deliver(txs, nil, dst[:0])
+				}
+				_ = dst
+			})
+		}
+	}
+}
+
+// BenchmarkDeliverDense sweeps the transmitting fraction at fixed n through
+// the dense-round regime: 1/32 stays on the per-listener grid path, 1/16 is
+// the accumulating path's dispatch threshold (accumDivisor), and the higher
+// fractions are the shout-down rounds the accumulating cell-blocked path is
+// built for. This sweep measured the accumDivisor crossover.
+func BenchmarkDeliverDense(b *testing.B) {
+	for _, n := range []int{4096, 16384} {
+		pts, _ := benchDeployment(n)
+		for _, div := range []int{32, 16, 4, 1} {
+			txs := make([]int, 0, n/div)
+			for v := 0; v < n; v += div {
+				txs = append(txs, v)
+			}
+			b.Run(fmt.Sprintf("sparse/n=%d/frac=1of%d", n, div), func(b *testing.B) {
+				f, err := NewSparseField(DefaultParams(), pts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var dst []Reception
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					dst = f.Deliver(txs, nil, dst[:0])

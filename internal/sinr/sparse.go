@@ -82,8 +82,73 @@ type SparseField struct {
 	// the near field (members are near-summed exactly).
 	fineHi []float64
 	fineLo []float64
+	// fineStr marks the offsets that straddle the far radius (closest point
+	// inside, farthest outside): the cells whose members the near scan splits
+	// into an accepted part (in nearTotal) and a rejected part (in the tail).
+	// The per-listener bound refinement corrects the static bounds for
+	// exactly these cells.
+	fineStr []bool
+	// nearLo is the unconditional per-offset member lower bound — the gain
+	// at the maximum distance between cells at that offset, with no far
+	// truncation or zeroing. It feeds the quick certain-no tier: a
+	// count-weighted sum over a listener cell's window lower-bounds the
+	// interference of every unscanned window member.
+	nearLo []float64
+	// nearHi is the per-offset member upper bound (gain at the minimum
+	// rect-to-rect distance) — it feeds the quick certain-yes tier: a
+	// count-weighted sum over a listener cell's window upper-bounds the
+	// interference of every unscanned window member. +Inf at touching
+	// offsets; only chebyshev-2+ offsets are read.
+	nearHi []float64
+
+	// Grid-wide per-offset tail bounds (fine-table semantics, full grid
+	// range): one pass over the occupied cells bounds the whole tail in
+	// sparse rounds. Index (dy+ny−1)·godx + (dx+nx−1); nil when the grid is
+	// too large (gridTableCap), which falls back to the fine/coarse levels.
+	gridHi []float64
+	gridLo []float64
+	godx   int
+
+	// Static coarse-level gain bounds. All supercells are congruent squares
+	// and every cell sits at one of superSide² sub-positions within its
+	// supercell, so the min/max rect-to-rect distance between a listener
+	// cell and a whole supercell depends only on (sub-position, supercell
+	// offset). Precomputing the bound gains per such pair turns the
+	// per-round coarse tail loop into one table lookup per dirty supercell.
+	// Index base (suby·superSide+subx)·sodx·sody, then (dsy+nsy−1)·sodx +
+	// (dsx+nsx−1) for supercell offset (dsx, dsy).
+	superHi    []float64
+	superLo    []float64
+	sodx, sody int
+
+	// Derived scalars of the far-radius geometry, rebuilt with the tables.
+	gFar    float64 // gain at the far radius (the straddling-cell bound)
+	gCell   float64 // gain at one cell side — caps any out-of-inner-block gain
+	gLoWinL float64 // min gain of a window-rejected tx, per-listener window
+	gLoWinB float64 // same for the (wider) per-cell-block window
+	span    int     // cell-block window half-width in cells, ≥ far/cell
+	// rangeQ2 is the squared-distance cutoff of the quick certain-no scan:
+	// any transmitter whose gain could reach the β·noise reception floor
+	// (within the certSlack margin) lies within it, so a scan confined to
+	// d² ≤ rangeQ2 finds every possible sender candidate exactly.
+	rangeQ2 float64
+	// refineOK gates the per-listener refinement and the accumulating path:
+	// both index the fine tables by scanned-window offsets, so they require
+	// the window to fit inside the fine table (true for any sane far radius;
+	// only an extreme SetFarRadius override disables them).
+	refineOK bool
+	// outOK gates the out-of-window bound tier of the residual: it requires
+	// the ±span window to lie inside the fine 3×3 supercell block (so the
+	// out bounds partition cleanly between fine and coarse levels).
+	outOK bool
 
 	workers int
+
+	// pathOverride forces the grid-round path selection in tests: > 0 takes
+	// the accumulating cell-blocked path, < 0 the per-listener path, 0 (the
+	// default) dispatches on the measured density threshold (useAccumPath).
+	// It never affects the direct-scan path of small rounds.
+	pathOverride int8
 
 	// sessioned flips (atomically — sessions are created concurrently under
 	// Network's pool) once the first session exists; from then on the shared
@@ -119,15 +184,50 @@ type sparseScratch struct {
 	// gathered listener buffer).
 	cand *candScratch
 
-	// Per-listener-cell conservative tail bounds (upper and lower), computed
-	// lazily during a round and cached behind an epoch stamp. Accessed with
-	// atomics: concurrent workers may recompute a cell's bounds redundantly,
-	// but the computation is deterministic, so every store writes identical
-	// bits.
-	cellTail   []uint64 // math.Float64bits of the upper bound
-	cellTailLo []uint64 // math.Float64bits of the lower bound
-	tailStamp  []int64
-	epoch      int64
+	// Accumulating-path state (see accum.go): per-listener round outcomes
+	// behind an epoch stamp, the reusable window-descriptor buffers (one per
+	// parallel stripe), and the listener-restriction bitmap.
+	accSender []int32
+	accStamp  []int64
+	win       []winCell
+	winPar    [][]winCell
+	outw      []winCell
+	outwPar   [][]winCell
+	d2q       []float64
+	d2qPar    [][]float64
+	isL       []bool
+
+	// Per-listener-cell conservative tail bounds, computed lazily during a
+	// round and cached behind an epoch stamp: upper and lower bounds on the
+	// whole tail, plus the same pair restricted to cells outside the ±span
+	// window (the residual's window-exact tier bounds only that remainder).
+	// Accessed with atomics: concurrent workers may recompute a cell's
+	// bounds redundantly, but the computation is deterministic, so every
+	// store writes identical bits.
+	cellTail      []uint64 // math.Float64bits of the upper bound
+	cellTailLo    []uint64 // math.Float64bits of the lower bound
+	cellTailOut   []uint64 // upper bound, cells outside the ±span window
+	cellTailOutLo []uint64 // lower bound, cells outside the ±span window
+	tailStamp     []int64
+	// restLB/restUB cache, per listener cell and round, the count-weighted
+	// lower and upper bounds on the interference from the cell's window
+	// beyond the inner 3×3 block — the quick certain-no and certain-yes
+	// tiers of the per-listener path. Same atomic discipline as the tail
+	// bounds above.
+	restLB    []uint64
+	restUB    []uint64
+	restStamp []int64
+	epoch     int64
+
+	// Out-of-window dirty-cell list, cached per (window box, round) for the
+	// exact residual walk: listeners of the same cell share the box, and the
+	// decide chain visits them back to back on the accumulating path. Only
+	// maintained on sequential rounds (outSeq) — concurrent workers would
+	// race on it, and the plain walk is used instead.
+	outSeq   bool
+	outCells []int32
+	outBox   [4]int32
+	outStamp int64
 }
 
 // fineHalf spans the largest cell offset reachable inside a 3×3 supercell
@@ -166,6 +266,8 @@ func (f *SparseField) initGrid() {
 	f.nsx = (f.nx + superSide - 1) / superSide
 	f.nsy = (f.ny + superSide - 1) / superSide
 	f.buildFineTables()
+	f.buildSuperTables()
+	f.buildGridTables()
 	f.lidx = newListenerIndex(g, f.pos)
 	f.posCell = f.lidx.cellOfNode
 	f.scr = f.newScratch()
@@ -173,15 +275,27 @@ func (f *SparseField) initGrid() {
 
 // newScratch allocates a zeroed per-session scratch sized to the grid.
 func (f *SparseField) newScratch() *sparseScratch {
+	side := 2*f.span + 1
 	return &sparseScratch{
-		cellStart:  make([]int32, f.nx*f.ny),
-		cellEnd:    make([]int32, f.nx*f.ny),
-		isTx:       make([]bool, f.n),
-		superCount: make([]int32, f.nsx*f.nsy),
-		cand:       f.lidx.newCandScratch(),
-		cellTail:   make([]uint64, f.nx*f.ny),
-		cellTailLo: make([]uint64, f.nx*f.ny),
-		tailStamp:  make([]int64, f.nx*f.ny),
+		cellStart:     make([]int32, f.nx*f.ny),
+		cellEnd:       make([]int32, f.nx*f.ny),
+		isTx:          make([]bool, f.n),
+		superCount:    make([]int32, f.nsx*f.nsy),
+		cand:          f.lidx.newCandScratch(),
+		cellTail:      make([]uint64, f.nx*f.ny),
+		cellTailLo:    make([]uint64, f.nx*f.ny),
+		cellTailOut:   make([]uint64, f.nx*f.ny),
+		cellTailOutLo: make([]uint64, f.nx*f.ny),
+		tailStamp:     make([]int64, f.nx*f.ny),
+		restLB:        make([]uint64, f.nx*f.ny),
+		restUB:        make([]uint64, f.nx*f.ny),
+		restStamp:     make([]int64, f.nx*f.ny),
+		accSender:     make([]int32, f.n),
+		accStamp:      make([]int64, f.n),
+		win:           make([]winCell, 0, side*side),
+		outw:          make([]winCell, 0, side*side),
+		d2q:           make([]float64, 0, 64),
+		isL:           make([]bool, f.n),
 	}
 }
 
@@ -212,6 +326,8 @@ func (f *SparseField) SetFarRadius(r float64) error {
 	}
 	f.far = r
 	f.buildFineTables()
+	f.buildSuperTables()
+	f.buildGridTables()
 	return nil
 }
 
@@ -223,6 +339,9 @@ func (f *SparseField) SetFarRadius(r float64) error {
 func (f *SparseField) buildFineTables() {
 	f.fineHi = make([]float64, fineDim*fineDim)
 	f.fineLo = make([]float64, fineDim*fineDim)
+	f.fineStr = make([]bool, fineDim*fineDim)
+	f.nearLo = make([]float64, fineDim*fineDim)
+	f.nearHi = make([]float64, fineDim*fineDim)
 	gFar := gainAt(f.params, f.far)
 	for dy := -fineHalf; dy <= fineHalf; dy++ {
 		for dx := -fineHalf; dx <= fineHalf; dx++ {
@@ -239,14 +358,115 @@ func (f *SparseField) buildFineTables() {
 			dmin := math.Sqrt(gapX*gapX + gapY*gapY)
 			dmax := math.Sqrt(maxX*maxX + maxY*maxY)
 			i := (dy+fineHalf)*fineDim + (dx + fineHalf)
+			f.nearLo[i] = gainAt(f.params, dmax)
+			f.nearHi[i] = gainAt(f.params, dmin) // +Inf at touching offsets; only ring-2+ offsets are read
 			if dmax <= f.far {
 				continue // fully near for any listener in the centre cell
 			}
 			if dmin <= f.far {
 				f.fineHi[i] = gFar
+				f.fineStr[i] = true
 			} else {
 				f.fineHi[i] = gainAt(f.params, dmin)
 				f.fineLo[i] = gainAt(f.params, dmax)
+			}
+		}
+	}
+	f.gFar = gFar
+	f.gCell = gainAt(f.params, f.cell)
+	f.span = int(f.far/f.cell) + 1
+	f.refineOK = f.span <= fineHalf
+	f.outOK = f.span <= superSide
+	f.gLoWinL = gainAt(f.params, math.Sqrt2*(f.far+f.cell))
+	f.gLoWinB = gainAt(f.params, math.Sqrt2*(f.far+2*f.cell))
+	// gain(d) ≥ β·noise·(1−certSlack) ⟺ d² ≤ range²·(1−certSlack)^(−2/α):
+	// the ball the quick certain-no scan must cover exactly.
+	f.rangeQ2 = f.params.Range() * f.params.Range() * math.Pow(1-certSlack, -2/f.params.Alpha)
+}
+
+// buildSuperTables precomputes the coarse-level bound gains per (cell
+// sub-position, supercell offset) pair: hi at the closest rect-to-rect
+// distance (clamped to gFar when the supercell may reach into the near
+// field), lo at the farthest, only when the whole supercell is certainly
+// beyond the far radius. The geometry is translation-invariant, so the rects
+// are laid out relative to the listener cell's supercell origin; the
+// resulting bounds match computeCellTail's previous per-round arithmetic up
+// to ULPs, which the certSlack decision margin absorbs.
+func (f *SparseField) buildSuperTables() {
+	f.sodx, f.sody = 2*f.nsx-1, 2*f.nsy-1
+	f.superHi = make([]float64, superSide*superSide*f.sodx*f.sody)
+	f.superLo = make([]float64, len(f.superHi))
+	far2 := f.far * f.far
+	gFar := gainAt(f.params, f.far)
+	sw := float64(superSide) * f.cell
+	for suby := 0; suby < superSide; suby++ {
+		for subx := 0; subx < superSide; subx++ {
+			ax0 := float64(subx) * f.cell
+			ay0 := float64(suby) * f.cell
+			base := (suby*superSide + subx) * f.sodx * f.sody
+			for dsy := -(f.nsy - 1); dsy <= f.nsy-1; dsy++ {
+				row := base + (dsy+f.nsy-1)*f.sodx
+				for dsx := -(f.nsx - 1); dsx <= f.nsx-1; dsx++ {
+					qx0 := float64(dsx) * sw
+					qy0 := float64(dsy) * sw
+					dmin2, dmax2 := rectRectDist2(ax0, ay0, ax0+f.cell, ay0+f.cell, qx0, qy0, qx0+sw, qy0+sw)
+					i := row + dsx + f.nsx - 1
+					if dmin2 <= far2 {
+						f.superHi[i] = gFar
+					} else {
+						f.superHi[i] = gainAt(f.params, math.Sqrt(dmin2))
+						f.superLo[i] = gainAt(f.params, math.Sqrt(dmax2))
+					}
+				}
+			}
+		}
+	}
+}
+
+// gridTableCap bounds the grid-wide offset table size (entries per table);
+// beyond it (huge sparse areas) computeCellTail falls back to the two-level
+// fine/coarse structure, which is O(1) in grid size.
+const gridTableCap = 1 << 21
+
+// buildGridTables precomputes the computeCellTail bound gains for every cell
+// offset of the whole grid — the same semantics as the fine tables (hi at the
+// closest inter-cell distance clamped to gFar inside the far radius, lo at
+// the farthest, zero when fully near) but without the ±fineHalf range limit,
+// so sparse rounds can bound every occupied cell in one table-driven pass
+// with no per-call distance math.
+func (f *SparseField) buildGridTables() {
+	f.godx = 2*f.nx - 1
+	entries := f.godx * (2*f.ny - 1)
+	if entries > gridTableCap {
+		f.gridHi, f.gridLo = nil, nil
+		return
+	}
+	f.gridHi = make([]float64, entries)
+	f.gridLo = make([]float64, entries)
+	gFar := gainAt(f.params, f.far)
+	for dy := -(f.ny - 1); dy <= f.ny-1; dy++ {
+		for dx := -(f.nx - 1); dx <= f.nx-1; dx++ {
+			gapX := float64(abs(dx)-1) * f.cell
+			if gapX < 0 {
+				gapX = 0
+			}
+			gapY := float64(abs(dy)-1) * f.cell
+			if gapY < 0 {
+				gapY = 0
+			}
+			maxX := float64(abs(dx)+1) * f.cell
+			maxY := float64(abs(dy)+1) * f.cell
+			dmin := math.Sqrt(gapX*gapX + gapY*gapY)
+			dmax := math.Sqrt(maxX*maxX + maxY*maxY)
+			i := (dy+f.ny-1)*f.godx + dx + f.nx - 1
+			if dmax <= f.far {
+				continue // fully near: every member is in the window's near sum
+			}
+			if dmin <= f.far {
+				f.gridHi[i] = gFar
+			} else {
+				f.gridHi[i] = gainAt(f.params, dmin)
+				f.gridLo[i] = gainAt(f.params, dmax)
 			}
 		}
 	}
@@ -408,6 +628,19 @@ func (f *SparseField) deliverMarked(transmitters []int, listeners []int, dst []R
 		count = len(listeners)
 	}
 
+	// Dense rounds: switch to the accumulating cell-blocked path (see
+	// accum.go), which derives window geometry once per listener cell
+	// instead of once per listener. Byte-identical by construction — every
+	// decision goes through the same conservative-bound / exact-residual /
+	// dense-order-fallback chain.
+	useAcc := useAccumPath(len(transmitters), count)
+	if f.pathOverride != 0 {
+		useAcc = f.pathOverride > 0
+	}
+	if useGrid && useAcc {
+		return f.deliverAccum(transmitters, listeners, dst)
+	}
+
 	// Transmitter-centric pruning: stamp the cells around the transmitters;
 	// listeners outside them cannot receive (see txcentric.go). With few
 	// enough candidates and no explicit listener slice, enumerate them
@@ -424,6 +657,7 @@ func (f *SparseField) deliverMarked(transmitters []int, listeners []int, dst []R
 	}
 
 	if count < parallelCutoff || f.workers < 2 {
+		s.outSeq = true
 		for i := 0; i < count; i++ {
 			u := i
 			if listeners != nil {
@@ -444,6 +678,7 @@ func (f *SparseField) deliverMarked(transmitters []int, listeners []int, dst []R
 
 	// Parallel path: split the listener range into chunks, one result slice
 	// per chunk, merged in order so output ordering matches the serial path.
+	s.outSeq = false
 	chunks := count / chunkTarget
 	if max := f.workers * 4; chunks > max {
 		chunks = max
@@ -499,6 +734,56 @@ func (f *SparseField) deliverMarked(transmitters []int, listeners []int, dst []R
 	return dst
 }
 
+// scanAcc carries the near-scan accumulation of one listener: the exact near
+// sums plus the straddling-cell split counts that feed the per-listener tail
+// refinement in decide.
+type scanAcc struct {
+	nearTotal, best float64
+	bestV           int
+	tied            bool
+	// accStr / rejStr count the scanned members of straddling offset cells
+	// (fineStr) that fell inside / outside the far radius. Accepted members
+	// are double-counted by the static hi bound (they appear in nearTotal
+	// AND at gFar in the bound); rejected ones are tail members with a known
+	// minimum gain. Both tighten the static cell bounds per listener.
+	accStr, rejStr int
+}
+
+// scanCell accumulates one bucket cell's transmitters into a. The straddle
+// flag (precomputed per offset) routes the cell's accepted/rejected split
+// into the refinement counters. Gains here may differ from the dense
+// precompute by ULPs (squared-distance arithmetic instead of Hypot);
+// certSlack keeps such noise from ever deciding a reception, and the exact
+// fallback recomputes dense-identically.
+func (f *SparseField) scanCell(c int, u int, p geom.Point, far2 float64, straddle bool, a *scanAcc) {
+	s := f.scr
+	acc, rej := 0, 0
+	for k := s.cellStart[c]; k < s.cellEnd[c]; k++ {
+		v := int(s.cellTx[k])
+		if v == u {
+			continue
+		}
+		d2 := geom.Dist2(f.pos[v], p)
+		if d2 > far2 {
+			rej++
+			continue
+		}
+		g := gainFromDist2(f.params, d2)
+		a.nearTotal += g
+		acc++
+		switch {
+		case g > a.best:
+			a.best, a.bestV, a.tied = g, v, false
+		case g == a.best && a.bestV >= 0:
+			a.tied = true
+		}
+	}
+	if straddle {
+		a.accStr += acc
+		a.rejStr += rej
+	}
+}
+
 // checkListener decides whether listener u receives anything this round and
 // from whom. With useGrid it scans the near field (≤ far radius) through the
 // buckets and bounds the far tail; without it (small transmitter sets) it
@@ -507,14 +792,9 @@ func (f *SparseField) checkListener(u int, txs []int, useGrid bool) (int, bool) 
 	if !useGrid {
 		return f.exactCheck(u, txs)
 	}
-	s := f.scr
 	p := f.pos[u]
-	beta, noise := f.params.Beta, f.params.Noise
 	far2 := f.far * f.far
-
-	var nearTotal, best float64
-	bestV := -1
-	tied := false
+	a := scanAcc{bestV: -1}
 
 	cxlo := int((p.X - f.min.X - f.far) / f.cell)
 	cxhi := int((p.X - f.min.X + f.far) / f.cell)
@@ -532,28 +812,6 @@ func (f *SparseField) checkListener(u int, txs []int, useGrid bool) (int, bool) 
 	if cyhi >= f.ny {
 		cyhi = f.ny - 1
 	}
-	scan := func(c int) {
-		for k := s.cellStart[c]; k < s.cellEnd[c]; k++ {
-			v := int(s.cellTx[k])
-			q := f.pos[v]
-			d2 := geom.Dist2(q, p)
-			if d2 > far2 || v == u {
-				continue
-			}
-			// Gains here may differ from the dense precompute by ULPs
-			// (squared-distance arithmetic instead of Hypot); certSlack
-			// keeps such noise from ever deciding a reception, and the
-			// exact fallback below recomputes dense-identically.
-			g := gainFromDist2(f.params, d2)
-			nearTotal += g
-			switch {
-			case g > best:
-				best, bestV, tied = g, v, false
-			case g == best && bestV >= 0:
-				tied = true
-			}
-		}
-	}
 
 	// Candidate-first ordering: a successful sender must lie within the
 	// transmission range, which the 3×3 cell block around u covers (cell ≥
@@ -563,68 +821,292 @@ func (f *SparseField) checkListener(u int, txs []int, useGrid bool) (int, bool) 
 	ux, uy := int(f.posCell[u])%f.nx, int(f.posCell[u])/f.nx
 	ixlo, ixhi := max(cxlo, ux-1), min(cxhi, ux+1)
 	iylo, iyhi := max(cylo, uy-1), min(cyhi, uy+1)
+	refine := f.refineOK
 	for cy := iylo; cy <= iyhi; cy++ {
+		trow := (cy-uy+fineHalf)*fineDim - ux + fineHalf
 		for cx := ixlo; cx <= ixhi; cx++ {
-			scan(cy*f.nx + cx)
+			f.scanCell(cy*f.nx+cx, u, p, far2, refine && f.fineStr[trow+cx], &a)
 		}
 	}
-	if best < beta*noise*(1-certSlack) {
+	if a.best < f.params.Beta*f.params.Noise*(1-certSlack) {
 		// The strongest in-range signal (if any) is below the β·noise floor
 		// every delivery must clear; transmitters outside the 3×3 block are
 		// beyond the range and weaker still.
 		return -1, false
 	}
-	for cy := cylo; cy <= cyhi; cy++ {
-		base := cy * f.nx
-		for cx := cxlo; cx <= cxhi; cx++ {
-			if cx >= ixlo && cx <= ixhi && cy >= iylo && cy <= iyhi {
-				continue // inner block already scanned
+	// Quick certain-no: every transmitter outside the inner block is at
+	// least a cell (≥ range) away, so its gain is capped by β·noise; if even
+	// that ceiling cannot clear β times the interference already accumulated
+	// plus the count-weighted window lower bound, no sender decodes — the
+	// ring scan and every tail bound are skipped. Sound for unscanned
+	// candidates too, since the bound uses max(best, β·noise).
+	if f.refineOK {
+		bu := a.best
+		if bn := f.params.Beta * f.params.Noise; bn > bu {
+			bu = bn
+		}
+		lb, ub := f.cellRestBounds(f.posCell[u])
+		needQ := f.params.Beta * (f.params.Noise + a.nearTotal + lb - bu)
+		if bu < needQ && needQ-bu > certSlack*needQ {
+			return -1, false
+		}
+		// Quick certain-yes: a.best above the one-cell gain cap means the
+		// strongest candidate is an inner-block transmitter and a strict
+		// global maximum (everything outside the block is at least a cell
+		// away). The total interference is upper-bounded without the window
+		// scan — the inner block exactly (accepted members in nearTotal,
+		// the straddling rejects at gFar each), window members by the
+		// count-weighted nearHi sum, the out-of-window tail by the cell's
+		// cached hiOut. Margin rule matches the decide chain's certain-yes.
+		if f.outOK && !a.tied && a.best > f.gCell {
+			_, _, hiOut, _ := f.cellTailBounds(f.posCell[u])
+			needY := f.params.Beta * (f.params.Noise + a.nearTotal + float64(a.rejStr)*f.gFar + ub + hiOut - a.best)
+			if a.best >= needY && a.best-needY > certSlack*needY {
+				return a.bestV, true
 			}
-			scan(base + cx)
 		}
 	}
-	if bestV < 0 {
+	for cy := cylo; cy <= cyhi; cy++ {
+		base := cy * f.nx
+		trow := (cy-uy+fineHalf)*fineDim - ux + fineHalf
+		inRow := cy >= iylo && cy <= iyhi
+		for cx := cxlo; cx <= cxhi; cx++ {
+			if inRow && cx >= ixlo && cx <= ixhi {
+				continue // inner block already scanned
+			}
+			f.scanCell(base+cx, u, p, far2, refine && f.fineStr[trow+cx], &a)
+		}
+	}
+	return f.decide(u, txs, &a, f.gLoWinL, cxlo, cxhi, cylo, cyhi, far2)
+}
+
+// decide applies the SINR decision chain to one listener's accumulated near
+// sums: the zero-tail certain-no, the refined conservative tail bounds
+// (fetched lazily — most listeners exit before needing them), the exact
+// residual tail, and — only within certSlack of the threshold or on an exact
+// gain tie — the dense-order exact fallback. gLoWin is the minimum gain of a
+// window-rejected transmitter for the caller's window shape; the cell range
+// is the scanned window (for the residual complement).
+func (f *SparseField) decide(u int, txs []int, a *scanAcc, gLoWin float64, cxlo, cxhi, cylo, cyhi int, far2 float64) (int, bool) {
+	if a.bestV < 0 {
 		return -1, false
 	}
-
+	beta, noise := f.params.Beta, f.params.Noise
+	best := a.best
+	if best < beta*noise*(1-certSlack) {
+		return -1, false
+	}
 	// Certain-no with a zero tail: interference can only grow, and this
 	// needs no tail bound at all — the common exit in dense deployments.
-	needNear := beta * (noise + nearTotal - best)
+	needNear := beta * (noise + a.nearTotal - best)
 	if best < needNear && needNear-best > certSlack*needNear {
 		return -1, false
 	}
-	// Fetch (or lazily compute) the cell's conservative tail bounds.
-	hi, lo := f.cellTailBounds(f.posCell[u])
+	// Fetch (or lazily compute) the cell's conservative tail bounds, then
+	// refine them with the listener's own straddling-cell split: accepted
+	// members are already near-summed exactly, so their gFar double-count
+	// comes off hi; rejected window members are tail members at a known
+	// minimum gain, which lifts lo.
+	hi, lo, hiOut, loOut := f.cellTailBounds(f.posCell[u])
+	if f.refineOK {
+		hi -= float64(a.accStr) * f.gFar
+		lo += float64(a.rejStr) * gLoWin
+	}
 	// Certain-no: the true interference is at least near + lower tail.
-	needLo := beta * (noise + nearTotal + lo - best)
+	needLo := beta * (noise + a.nearTotal + lo - best)
 	if best < needLo && needLo-best > certSlack*needLo {
 		return -1, false
 	}
 	// Certain-yes under the upper tail bound.
-	needFar := beta * (noise + nearTotal + hi - best)
-	if !tied && best >= needFar && best-needFar > certSlack*needFar {
-		return bestV, true
+	needFar := beta * (noise + a.nearTotal + hi - best)
+	if !a.tied && best >= needFar && best-needFar > certSlack*needFar {
+		return a.bestV, true
 	}
-	// Uncertain band (or an exact gain tie): decide exactly, in the dense
+	// Uncertain band: resolve in tiers, reusing the accumulated near sums
+	// instead of re-scanning the whole transmitter set. First make the
+	// ±span window exact — one cache-hot pass over the already-visited
+	// window cells — and bound only the remainder with the out-of-window
+	// pair; that resolves most of the band. Only if the decision still
+	// straddles the threshold walk the far dirty cells exactly.
+	uc := int(f.posCell[u])
+	ux, uy := uc%f.nx, uc/f.nx
+	wxlo, wxhi := max(ux-f.span, 0), min(ux+f.span, f.nx-1)
+	wylo, wyhi := max(uy-f.span, 0), min(uy+f.span, f.ny-1)
+	base := a.nearTotal + f.windowTail(u, wxlo, wxhi, wylo, wyhi, cxlo, cxhi, cylo, cyhi, far2)
+	if f.outOK {
+		needOutLo := beta * (noise + base + loOut - best)
+		if best < needOutLo && needOutLo-best > certSlack*needOutLo {
+			return -1, false
+		}
+		needOutHi := beta * (noise + base + hiOut - best)
+		if !a.tied && best >= needOutHi && best-needOutHi > certSlack*needOutHi {
+			return a.bestV, true
+		}
+	}
+	total := base + f.outTail(u, wxlo, wxhi, wylo, wyhi)
+	need := beta * (noise + total - best)
+	if best < need && need-best > certSlack*need {
+		return -1, false
+	}
+	if !a.tied && best >= need && best-need > certSlack*need {
+		return a.bestV, true
+	}
+	// Knife-edge (or an exact gain tie): decide exactly, in the dense
 	// engine's iteration order and arithmetic.
 	return f.exactCheck(u, txs)
 }
 
+// windowTail returns the exact aggregate gain at listener u from the ±span
+// window members the near scan did not near-sum: members of window cells
+// outside the scanned box [cxlo..cyhi], plus scanned members beyond the far
+// radius. Together with outTail it exactly complements the near scan.
+func (f *SparseField) windowTail(u, wxlo, wxhi, wylo, wyhi, cxlo, cxhi, cylo, cyhi int, far2 float64) float64 {
+	s := f.scr
+	p := f.pos[u]
+	var tail float64
+	for wy := wylo; wy <= wyhi; wy++ {
+		base := wy * f.nx
+		inRow := wy >= cylo && wy <= cyhi
+		for wx := wxlo; wx <= wxhi; wx++ {
+			c := base + wx
+			st, en := s.cellStart[c], s.cellEnd[c]
+			if st == en {
+				continue
+			}
+			inBox := inRow && wx >= cxlo && wx <= cxhi
+			for k := st; k < en; k++ {
+				v := int(s.cellTx[k])
+				if v == u {
+					continue
+				}
+				d2 := geom.Dist2(f.pos[v], p)
+				if inBox && d2 <= far2 {
+					continue // already in the near sum
+				}
+				tail += gainFromDist2(f.params, d2)
+			}
+		}
+	}
+	return tail
+}
+
+// outTail returns the exact aggregate gain at listener u from all bucketed
+// transmitters outside the ±span window — one pass over the dirty cells,
+// skipping the window block (whose members windowTail already resolved).
+// Listeners of the same cell share the window box, so on sequential rounds
+// the out-of-window cell list is derived once per (box, round) and reused;
+// the gain sum itself is per listener either way, and its cell order matches
+// the dirty order exactly, so the cached walk is bit-identical to the plain
+// one.
+func (f *SparseField) outTail(u, wxlo, wxhi, wylo, wyhi int) float64 {
+	s := f.scr
+	p := f.pos[u]
+	var tail float64
+	if s.outSeq {
+		box := [4]int32{int32(wxlo), int32(wxhi), int32(wylo), int32(wyhi)}
+		if s.outStamp != s.epoch || s.outBox != box {
+			s.outCells = s.outCells[:0]
+			for _, ci := range s.dirty {
+				c := int(ci)
+				cx, cy := c%f.nx, c/f.nx
+				if cx >= wxlo && cx <= wxhi && cy >= wylo && cy <= wyhi {
+					continue
+				}
+				s.outCells = append(s.outCells, ci)
+			}
+			s.outBox, s.outStamp = box, s.epoch
+		}
+		for _, ci := range s.outCells {
+			c := int(ci)
+			for k := s.cellStart[c]; k < s.cellEnd[c]; k++ {
+				v := int(s.cellTx[k])
+				if v == u {
+					continue
+				}
+				tail += gainFromDist2(f.params, geom.Dist2(f.pos[v], p))
+			}
+		}
+		return tail
+	}
+	for _, ci := range s.dirty {
+		c := int(ci)
+		cx, cy := c%f.nx, c/f.nx
+		if cx >= wxlo && cx <= wxhi && cy >= wylo && cy <= wyhi {
+			continue
+		}
+		for k := s.cellStart[c]; k < s.cellEnd[c]; k++ {
+			v := int(s.cellTx[k])
+			if v == u {
+				continue
+			}
+			tail += gainFromDist2(f.params, geom.Dist2(f.pos[v], p))
+		}
+	}
+	return tail
+}
+
 // cellTailBounds returns the conservative far-field bounds of listener cell
-// c for the current round, computing and caching them on first use. Safe for
-// concurrent workers: a cell may be computed redundantly, but the value is
-// deterministic, and the epoch stamp is only published after the bits.
-func (f *SparseField) cellTailBounds(c int32) (hi, lo float64) {
+// c for the current round, computing and caching them on first use: upper
+// and lower bounds on the whole tail, plus the pair restricted to cells
+// outside the ±span window. Safe for concurrent workers: a cell may be
+// computed redundantly, but the value is deterministic, and the epoch stamp
+// is only published after the bits.
+func (f *SparseField) cellTailBounds(c int32) (hi, lo, hiOut, loOut float64) {
 	s := f.scr
 	if atomic.LoadInt64(&s.tailStamp[c]) == s.epoch {
 		return math.Float64frombits(atomic.LoadUint64(&s.cellTail[c])),
-			math.Float64frombits(atomic.LoadUint64(&s.cellTailLo[c]))
+			math.Float64frombits(atomic.LoadUint64(&s.cellTailLo[c])),
+			math.Float64frombits(atomic.LoadUint64(&s.cellTailOut[c])),
+			math.Float64frombits(atomic.LoadUint64(&s.cellTailOutLo[c]))
 	}
-	hi, lo = f.computeCellTail(int(c))
+	hi, lo, hiOut, loOut = f.computeCellTail(int(c))
 	atomic.StoreUint64(&s.cellTail[c], math.Float64bits(hi))
 	atomic.StoreUint64(&s.cellTailLo[c], math.Float64bits(lo))
+	atomic.StoreUint64(&s.cellTailOut[c], math.Float64bits(hiOut))
+	atomic.StoreUint64(&s.cellTailOutLo[c], math.Float64bits(loOut))
 	atomic.StoreInt64(&s.tailStamp[c], s.epoch)
-	return hi, lo
+	return hi, lo, hiOut, loOut
+}
+
+// cellRestBounds returns, lazily computed and cached per round, the
+// count-weighted interference bounds of cell c's ±span window beyond the
+// inner 3×3 block: every member of a window cell contributes at least the
+// gain at the cells' maximum rect-to-rect distance (nearLo) and at most the
+// gain at the minimum (nearHi). Feeds the quick certain-no and certain-yes
+// tiers of checkListener. Caller must hold refineOK.
+func (f *SparseField) cellRestBounds(c int32) (lb, ub float64) {
+	s := f.scr
+	if atomic.LoadInt64(&s.restStamp[c]) == s.epoch {
+		return math.Float64frombits(atomic.LoadUint64(&s.restLB[c])),
+			math.Float64frombits(atomic.LoadUint64(&s.restUB[c]))
+	}
+	lb, ub = f.computeRestBounds(int(c))
+	atomic.StoreUint64(&s.restLB[c], math.Float64bits(lb))
+	atomic.StoreUint64(&s.restUB[c], math.Float64bits(ub))
+	atomic.StoreInt64(&s.restStamp[c], s.epoch)
+	return lb, ub
+}
+
+func (f *SparseField) computeRestBounds(c int) (lb, ub float64) {
+	s := f.scr
+	cx, cy := c%f.nx, c/f.nx
+	wxlo, wxhi := max(cx-f.span, 0), min(cx+f.span, f.nx-1)
+	wylo, wyhi := max(cy-f.span, 0), min(cy+f.span, f.ny-1)
+	for wy := wylo; wy <= wyhi; wy++ {
+		base := wy * f.nx
+		trow := (wy-cy+fineHalf)*fineDim - cx + fineHalf
+		inRow := wy >= cy-1 && wy <= cy+1
+		for wx := wxlo; wx <= wxhi; wx++ {
+			if inRow && wx >= cx-1 && wx <= cx+1 {
+				continue // inner block: scanned exactly by every caller
+			}
+			if cnt := s.cellEnd[base+wx] - s.cellStart[base+wx]; cnt != 0 {
+				lb += float64(cnt) * f.nearLo[trow+wx]
+				ub += float64(cnt) * f.nearHi[trow+wx]
+			}
+		}
+	}
+	return lb, ub
 }
 
 // computeCellTail bounds the aggregate interference, at any point of
@@ -642,15 +1124,49 @@ func (f *SparseField) cellTailBounds(c int32) (hi, lo float64) {
 // Lower bound (lo): only cells/supercells whose closest point already lies
 // beyond the far radius (their members are all in the tail for every
 // listener in c), each at the gain of its farthest point.
-func (f *SparseField) computeCellTail(c int) (hi, lo float64) {
-	scr := f.scr
-	far2 := f.far * f.far
-	gFar := gainAt(f.params, f.far)
-	cx, cy := c%f.nx, c/f.nx
-	sx, sy := cx/superSide, cy/superSide
+//
+// The out pair (hiOut, loOut) restricts both bounds to cells outside the
+// ±span window around c — the remainder the residual's window-exact tier
+// cannot resolve itself. Valid only when outOK holds (the window fits inside
+// the fine block, so coarse supercells are always fully outside it).
+// fineDirtyCutoff selects the fine-level iteration strategy of
+// computeCellTail: below it the round's occupied-cell list is walked (cheap
+// in the many low-density rounds), at or above it the 3×3-supercell block is
+// swept directly.
+const fineDirtyCutoff = 128
 
-	// Fine level: individual cells of the 3×3 supercell block around c,
-	// through the static offset tables.
+func (f *SparseField) computeCellTail(c int) (hi, lo, hiOut, loOut float64) {
+	scr := f.scr
+	cx, cy := c%f.nx, c/f.nx
+	span := f.span
+	if len(scr.dirty) < fineDirtyCutoff && f.gridHi != nil {
+		// Sparse round: one pass over the occupied-cell list resolves every
+		// contribution at cell granularity through the grid-wide offset
+		// tables. The coarse supercell level is skipped entirely; cell-level
+		// bounds are tighter than its rect aggregation, so downstream exits
+		// only get easier. The dirty list is built deterministically per
+		// round, so redundant concurrent recomputation still stores
+		// identical bits.
+		tbase := (f.ny-1-cy)*f.godx + f.nx - 1 - cx
+		for _, ci := range scr.dirty {
+			cc := int(ci)
+			gx, gy := cc%f.nx, cc/f.nx
+			cnt := float64(scr.cellEnd[cc] - scr.cellStart[cc])
+			ti := tbase + gy*f.godx + gx
+			h, l := f.gridHi[ti], f.gridLo[ti]
+			hi += cnt * h
+			lo += cnt * l
+			if gx < cx-span || gx > cx+span || gy < cy-span || gy > cy+span {
+				hiOut += cnt * h
+				loOut += cnt * l
+			}
+		}
+		return hi, lo, hiOut, loOut
+	}
+
+	// Dense round: fine level first — individual cells of the 3×3 supercell
+	// block around c, through the static offset tables.
+	sx, sy := cx/superSide, cy/superSide
 	bx0, by0 := (sx-1)*superSide, (sy-1)*superSide
 	bx1, by1 := bx0+3*superSide-1, by0+3*superSide-1
 	if bx0 < 0 {
@@ -668,6 +1184,7 @@ func (f *SparseField) computeCellTail(c int) (hi, lo float64) {
 	for gy := by0; gy <= by1; gy++ {
 		base := gy * f.nx
 		trow := (gy - cy + fineHalf) * fineDim
+		inRow := gy >= cy-span && gy <= cy+span
 		for gx := bx0; gx <= bx1; gx++ {
 			cc := base + gx
 			cnt := float64(scr.cellEnd[cc] - scr.cellStart[cc])
@@ -677,33 +1194,32 @@ func (f *SparseField) computeCellTail(c int) (hi, lo float64) {
 			ti := trow + gx - cx + fineHalf
 			hi += cnt * f.fineHi[ti]
 			lo += cnt * f.fineLo[ti]
+			if !(inRow && gx >= cx-span && gx <= cx+span) {
+				hiOut += cnt * f.fineHi[ti]
+				loOut += cnt * f.fineLo[ti]
+			}
 		}
 	}
 
-	// Coarse level: whole supercells outside the block. Distances use the
-	// super's full rectangle, which contains all of its transmitters; the
-	// listener cell rectangle is [ax0,ax0+cell]×[ay0,ay0+cell].
-	sw := float64(superSide) * f.cell
-	ax0 := f.min.X + float64(cx)*f.cell
-	ay0 := f.min.Y + float64(cy)*f.cell
+	// Coarse level: whole supercells outside the block, through the static
+	// sub-position × offset bound tables (the rect-to-rect geometry depends
+	// only on the cell's sub-position within its supercell and the supercell
+	// offset, both precomputed in buildSuperTables).
+	sub := ((cy%superSide)*superSide + cx%superSide) * f.sodx * f.sody
 	for _, si := range scr.superDirty {
 		s := int(si)
 		qsx, qsy := s%f.nsx, s/f.nsx
 		if qsx >= sx-1 && qsx <= sx+1 && qsy >= sy-1 && qsy <= sy+1 {
 			continue // covered by the fine level
 		}
-		qx0 := f.min.X + float64(qsx)*sw
-		qy0 := f.min.Y + float64(qsy)*sw
-		dmin2, dmax2 := rectRectDist2(ax0, ay0, ax0+f.cell, ay0+f.cell, qx0, qy0, qx0+sw, qy0+sw)
 		cnt := float64(scr.superCount[s])
-		if dmin2 <= far2 {
-			hi += cnt * gFar
-		} else {
-			hi += cnt * gainAt(f.params, math.Sqrt(dmin2))
-			lo += cnt * gainAt(f.params, math.Sqrt(dmax2))
-		}
+		ti := sub + (qsy-sy+f.nsy-1)*f.sodx + qsx - sx + f.nsx - 1
+		hi += cnt * f.superHi[ti]
+		lo += cnt * f.superLo[ti]
+		hiOut += cnt * f.superHi[ti]
+		loOut += cnt * f.superLo[ti]
 	}
-	return hi, lo
+	return hi, lo, hiOut, loOut
 }
 
 // rectRectDist2 returns the squared minimum and maximum distances between
@@ -727,11 +1243,17 @@ func rectRectDist2(ax0, ay0, ax1, ay1, bx0, by0, bx1, by1 float64) (dmin2, dmax2
 
 // gainFromDist2 is the received-power formula on a squared distance — the
 // hot-path variant that skips Hypot. Equal to gainAt(p, √d2) up to ULPs.
+// The α=3 default stays under the inlining budget; other exponents take the
+// outlined slow path.
 func gainFromDist2(p Params, d2 float64) float64 {
-	switch p.Alpha {
-	case 3:
+	if p.Alpha == 3 {
 		return p.Power / (d2 * math.Sqrt(d2))
-	case 4:
+	}
+	return gainFromDist2Slow(p, d2)
+}
+
+func gainFromDist2Slow(p Params, d2 float64) float64 {
+	if p.Alpha == 4 {
 		return p.Power / (d2 * d2)
 	}
 	return gainAt(p, math.Sqrt(d2))

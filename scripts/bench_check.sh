@@ -5,7 +5,8 @@
 #   scripts/bench_check.sh <baseline.json> [threshold_pct]
 #   scripts/bench_check.sh --git <base-ref> [threshold_pct]
 #
-# Runs the gated benchmarks (BenchmarkDeliver, BenchmarkRunOverhead) at
+# Runs the gated benchmarks (BenchmarkDeliver, BenchmarkDeliverDense,
+# BenchmarkRunOverhead) at
 # -benchtime=20x -count=3, takes the per-benchmark minimum (the noise on a
 # shared runner is one-sided), and compares each ns_per_op against a
 # baseline in the benchstat manner (per-benchmark ratio against a fixed
@@ -25,7 +26,7 @@
 set -euo pipefail
 
 gate_pkgs=". ./internal/sinr/"
-gate_regex='^(BenchmarkDeliver|BenchmarkRunOverhead)$'
+gate_regex='^(BenchmarkDeliver|BenchmarkDeliverDense|BenchmarkRunOverhead)$'
 
 mode="file"
 if [ "${1:-}" = "--git" ]; then
