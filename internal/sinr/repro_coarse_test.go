@@ -1,0 +1,60 @@
+package sinr
+
+import (
+	"math/rand"
+	"testing"
+
+	"dcluster/internal/geom"
+)
+
+// Repro: huge sparse deployment forces newCellGeom to double the cell to
+// 4·range, which exceeds the default far radius (2·range). Then the
+// per-listener scan box (p ± far) no longer covers the inner 3×3 block, and
+// the quick certain-yes tier's interference upper bound misses the adjacent
+// cell's transmitters entirely.
+func TestCoarseGridQuickYes(t *testing.T) {
+	params := DefaultParams() // range = 1, far = 2
+	rng := rand.New(rand.NewSource(7))
+
+	var pts []geom.Point
+	// Corner pins so the bounding box is 150x150 -> cell doubles to 4.
+	pts = append(pts, geom.Point{X: 0, Y: 0}, geom.Point{X: 150, Y: 150})
+
+	// Listener in cell (10, 10) near its right edge.
+	u := len(pts)
+	pts = append(pts, geom.Point{X: 43.5, Y: 42})
+	// Sender 0.8 away, same cell.
+	s := len(pts)
+	pts = append(pts, geom.Point{X: 42.7, Y: 42})
+	// 25 interferers in the adjacent cell (9, 10), distance 3.7 > far from u,
+	// but outside the p±far scan box (box starts at x=41.5, cell 10).
+	var txs []int
+	txs = append(txs, s)
+	for i := 0; i < 25; i++ {
+		txs = append(txs, len(pts))
+		pts = append(pts, geom.Point{X: 39.8, Y: 42})
+	}
+	// Idle fillers spread over the area (listeners only).
+	for len(pts) < 480 {
+		pts = append(pts, geom.Point{X: rng.Float64() * 150, Y: rng.Float64() * 150})
+	}
+
+	dense, err := NewField(params, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := NewSparseField(params, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cell=%v far=%v n=%d ntx=%d", sparse.cell, sparse.far, len(pts), len(txs))
+
+	want := dense.Deliver(txs, nil, nil)
+	for _, ov := range []int8{0, -1, 1} {
+		sparse.pathOverride = ov
+		got := sparse.Deliver(txs, nil, nil)
+		if !sameReceptions(want, got) {
+			t.Errorf("override %d: dense %v != sparse %v (listener %d)", ov, want, got, u)
+		}
+	}
+}
