@@ -1,0 +1,189 @@
+package dcluster
+
+// Chaos suite: sweeps fault intensity across topologies and engines and
+// classifies how each run degrades. The point is graceful degradation — a
+// faulted execution may recover, violate the clustering invariants, stall,
+// or exhaust its budget, but it must never panic, hang, or trip the
+// watchdog on a fault-free instance.
+//
+// Every scenario uses committed seeds, so the sweep is fully deterministic;
+// TestChaosRepro replays one scenario from the environment (CHAOS_SPEC et
+// al.) for debugging — scripts/chaos.sh wraps it.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"dcluster/internal/analysis"
+)
+
+// chaosTopologies are the sweep's instances, all small enough that the full
+// sweep stays in test-suite time but structurally distinct: uniform disk,
+// clustered clumps, a thin strip, and a near-regular grid.
+func chaosTopologies() map[string][]Point {
+	return map[string][]Point{
+		"disk":   UniformDisk(40, 1.8, 3),
+		"clumps": GaussianClusters(40, 4, 3.6, 0.3, 5),
+		"strip":  ConnectedStrip(40, 8, 1, 0.7, 7),
+		"grid":   GridLattice(6, 0.6, 0.05, 9),
+	}
+}
+
+// chaosScenarios are the committed fault intensities, mildest first.
+var chaosScenarios = []struct {
+	name string
+	spec string
+}{
+	{"light", "seed=11;drop=0.1@1-2000"},
+	{"medium", "seed=12;drop=0.3@1-4000;noise=2@500-1500"},
+	{"heavy", "seed=13;drop=0.5@1-8000;jam=0,0,10@1000-3000;sleep=2-5@100-5000"},
+	{"outage", "seed=14;crash=1-20@50-"},
+}
+
+// chaosAwake exempts every node the spec ever takes down from the
+// membership invariants (mirrors cmd/dclust's degradation report).
+func chaosAwake(spec FaultSpec) func(int) bool {
+	if len(spec.Crashes) == 0 {
+		return nil
+	}
+	down := map[int]bool{}
+	for _, c := range spec.Crashes {
+		down[c.Node] = true
+	}
+	return func(i int) bool { return !down[i] }
+}
+
+// chaosCheck runs the invariant checker over a clustering result.
+func chaosCheck(net *Network, res *Result, awake func(int) bool) analysis.CheckReport {
+	return analysis.CheckClustering(net.Positions(),
+		analysis.Clustering{ClusterOf: res.Cluster.ClusterOf, Center: res.Cluster.Center},
+		1.0, net.Params().Eps, awake)
+}
+
+func TestChaosSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is a long test")
+	}
+	for topoName, pts := range chaosTopologies() {
+		for _, kind := range []EngineKind{EngineDense, EngineSparse} {
+			t.Run(fmt.Sprintf("%s/%s", topoName, kind), func(t *testing.T) {
+				net, err := NewNetwork(pts, WithEngine(kind))
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Intensity zero: the run must succeed, the checker must
+				// agree, and a generously sized watchdog must not trip.
+				base, err := net.Run(context.Background(), Clustering())
+				if err != nil {
+					t.Fatalf("fault-free run failed: %v", err)
+				}
+				if rep := chaosCheck(net, base, nil); !rep.OK() {
+					t.Fatalf("fault-free clustering fails the checker: %s", rep.String())
+				}
+				window := 10 * base.Stats.Rounds
+				budget := 50 * base.Stats.Rounds
+				if _, err := net.Run(context.Background(), Clustering(),
+					WithStallDetector(window)); err != nil {
+					t.Fatalf("watchdog false positive on the fault-free run: %v", err)
+				}
+
+				for _, sc := range chaosScenarios {
+					spec, err := ParseFaultSpec(sc.spec)
+					if err != nil {
+						t.Fatalf("%s: %v", sc.name, err)
+					}
+					res, err := net.Run(context.Background(), Clustering(),
+						WithFaults(spec), WithStallDetector(window), WithMaxRounds(budget))
+					switch {
+					case err == nil:
+						rep := chaosCheck(net, res, chaosAwake(spec))
+						t.Logf("%s: recovered in %d rounds (checker: %s)", sc.name, res.Stats.Rounds, rep.String())
+					case errors.Is(err, ErrInvariant):
+						if res == nil || res.Cluster == nil {
+							t.Errorf("%s: ErrInvariant without the degraded clustering", sc.name)
+							continue
+						}
+						rep := chaosCheck(net, res, chaosAwake(spec))
+						t.Logf("%s: degraded after %d rounds — %s", sc.name, res.Stats.Rounds, rep.String())
+					case errors.Is(err, ErrStalled):
+						t.Logf("%s: stalled at round %d", sc.name, res.Stats.Rounds)
+					case errors.Is(err, ErrRoundBudget):
+						t.Logf("%s: budget exhausted at round %d", sc.name, res.Stats.Rounds)
+					default:
+						// ErrInternal (a recovered panic) or anything untyped
+						// is a real failure: chaos must degrade, not crash.
+						t.Errorf("%s: unexpected failure mode: %v", sc.name, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestChaosRepro replays one externally supplied scenario: CHAOS_SPEC is
+// the fault spec, CHAOS_TOPOLOGY/CHAOS_N/CHAOS_SEED pick the instance
+// (defaults: disk/40/3). Unset CHAOS_SPEC skips — scripts/chaos.sh drives
+// it with the variables of a failing sweep case.
+func TestChaosRepro(t *testing.T) {
+	specStr := os.Getenv("CHAOS_SPEC")
+	if specStr == "" {
+		t.Skip("set CHAOS_SPEC to replay a chaos scenario (see scripts/chaos.sh)")
+	}
+	spec, err := ParseFaultSpec(specStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 40
+	if v := os.Getenv("CHAOS_N"); v != "" {
+		if n, err = strconv.Atoi(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed := int64(3)
+	if v := os.Getenv("CHAOS_SEED"); v != "" {
+		if seed, err = strconv.ParseInt(v, 10, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var pts []Point
+	switch topo := os.Getenv("CHAOS_TOPOLOGY"); topo {
+	case "", "disk":
+		pts = UniformDisk(n, 1.8, seed)
+	case "clumps":
+		pts = GaussianClusters(n, 4, 3.6, 0.3, seed)
+	case "strip":
+		pts = ConnectedStrip(n, 8, 1, 0.7, seed)
+	case "grid":
+		pts = GridLattice(6, 0.6, 0.05, seed)
+	default:
+		t.Fatalf("unknown CHAOS_TOPOLOGY %q", topo)
+	}
+
+	var ref *Result
+	for _, kind := range []EngineKind{EngineDense, EngineSparse} {
+		net, err := NewNetwork(pts, WithEngine(kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := net.Run(context.Background(), Clustering(),
+			WithFaults(spec), WithMaxRounds(50_000_000))
+		if err != nil && !errors.Is(err, ErrInvariant) && !errors.Is(err, ErrRoundBudget) {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		t.Logf("%v: err=%v rounds=%d transmissions=%d", kind, err, res.Stats.Rounds, res.Stats.Transmissions)
+		if res.Cluster != nil {
+			rep := chaosCheck(net, res, chaosAwake(spec))
+			t.Logf("%v: checker: %s", kind, rep.String())
+		}
+		if ref == nil {
+			ref = res
+		} else if res.Stats != ref.Stats {
+			t.Errorf("engines diverged under the spec: %+v vs %+v", res.Stats, ref.Stats)
+		}
+	}
+}

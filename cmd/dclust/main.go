@@ -33,7 +33,22 @@ import (
 	"os"
 
 	"dcluster"
+	"dcluster/internal/analysis"
 )
+
+// awakeFilter exempts every node the fault spec ever takes down from the
+// membership side of the invariant check — a node that lost rounds (and, on
+// crash, its state) may legitimately miss its cluster.
+func awakeFilter(spec *dcluster.FaultSpec) func(int) bool {
+	if len(spec.Crashes) == 0 {
+		return nil
+	}
+	down := map[int]bool{}
+	for _, c := range spec.Crashes {
+		down[c.Node] = true
+	}
+	return func(i int) bool { return !down[i] }
+}
 
 // preset bundles a named large-scale scenario: topology, node count and
 // radius (0 = auto-scale).
@@ -69,6 +84,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "wall-clock limit for the run (0 = none)")
 		maxRounds = flag.Int64("max-rounds", 0, "deterministic round budget (0 = unlimited)")
 		progress  = flag.Int64("progress", 0, "print a live progress line to stderr every N rounds (0 = off)")
+		faultsF   = flag.String("faults", "", "deterministic fault spec, e.g. 'seed=7;drop=0.2@100-500;crash=3-8@50-300'")
+		watchdog  = flag.Int64("watchdog", 0, "stall watchdog: abort after N rounds without a delivery or phase mark (0 = off)")
 	)
 	flag.Parse()
 
@@ -114,16 +131,38 @@ func main() {
 		prog = &progressLine{every: *progress}
 		opts = append(opts, dcluster.WithObserver(prog))
 	}
+	var spec dcluster.FaultSpec
+	if *faultsF != "" {
+		spec, err = dcluster.ParseFaultSpec(*faultsF)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, dcluster.WithFaults(spec))
+	}
+	if *watchdog > 0 {
+		opts = append(opts, dcluster.WithStallDetector(*watchdog))
+	}
 	run := func(task dcluster.Task) *dcluster.Result {
 		res, err := net.Run(ctx, task, opts...)
 		if prog != nil {
 			prog.done()
 		}
 		if err != nil {
-			if res != nil && (errors.Is(err, dcluster.ErrRoundBudget) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+			if res != nil && (errors.Is(err, dcluster.ErrRoundBudget) || errors.Is(err, dcluster.ErrStalled) ||
+				errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
 				fmt.Printf("%s aborted: %v (rounds=%d transmissions=%d deliveries=%d)\n",
 					task.Name(), err, res.Stats.Rounds, res.Stats.Transmissions, res.Stats.Deliveries)
 				os.Exit(3)
+			}
+			if res != nil && res.Cluster != nil && errors.Is(err, dcluster.ErrInvariant) {
+				// Expected degradation under fault injection: report exactly
+				// which invariants broke, exempting crashed nodes.
+				rep := analysis.CheckClustering(net.Positions(),
+					analysis.Clustering{ClusterOf: res.Cluster.ClusterOf, Center: res.Cluster.Center},
+					1.0, net.Params().Eps, awakeFilter(&spec))
+				fmt.Printf("%s degraded: clustering invariant violated (%s; rounds=%d)\n",
+					task.Name(), rep.String(), res.Stats.Rounds)
+				os.Exit(4)
 			}
 			fatal(err)
 		}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"dcluster/internal/geom"
+)
+
+// RadiusViolation is an assigned point farther than the clustering radius
+// from its cluster's centre.
+type RadiusViolation struct {
+	Node   int
+	Center int
+	Dist   float64
+}
+
+// SeparationViolation is a pair of cluster centres closer than 1−ε.
+type SeparationViolation struct {
+	A, B int
+	Dist float64
+}
+
+// CheckReport itemises every clustering-invariant violation found by
+// CheckClustering, so a chaos harness can measure *how* an execution
+// degraded rather than just that it did.
+type CheckReport struct {
+	// Unassigned lists awake nodes without a cluster.
+	Unassigned []int
+	// MissingCenter lists awake nodes whose cluster has no recorded centre.
+	MissingCenter []int
+	// RadiusViolations lists awake nodes beyond the radius bound.
+	RadiusViolations []RadiusViolation
+	// SeparationViolations lists centre pairs closer than 1−ε.
+	SeparationViolations []SeparationViolation
+}
+
+// OK reports whether the clustering satisfies all invariants.
+func (r *CheckReport) OK() bool {
+	return len(r.Unassigned) == 0 && len(r.MissingCenter) == 0 &&
+		len(r.RadiusViolations) == 0 && len(r.SeparationViolations) == 0
+}
+
+// Violations returns the total violation count.
+func (r *CheckReport) Violations() int {
+	return len(r.Unassigned) + len(r.MissingCenter) +
+		len(r.RadiusViolations) + len(r.SeparationViolations)
+}
+
+// Err returns nil for a valid clustering, or an error summarising the
+// violation counts.
+func (r *CheckReport) Err() error {
+	if r.OK() {
+		return nil
+	}
+	return fmt.Errorf("analysis: invalid clustering: %s", r)
+}
+
+// String summarises the report ("ok" when clean).
+func (r *CheckReport) String() string {
+	if r.OK() {
+		return "ok"
+	}
+	var parts []string
+	if n := len(r.Unassigned); n > 0 {
+		parts = append(parts, fmt.Sprintf("%d unassigned", n))
+	}
+	if n := len(r.MissingCenter); n > 0 {
+		parts = append(parts, fmt.Sprintf("%d without centre", n))
+	}
+	if n := len(r.RadiusViolations); n > 0 {
+		parts = append(parts, fmt.Sprintf("%d beyond radius", n))
+	}
+	if n := len(r.SeparationViolations); n > 0 {
+		parts = append(parts, fmt.Sprintf("%d centre pairs too close", n))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// CheckClustering verifies the paper's clustering invariants over a point
+// set and returns an itemised report: every awake node is assigned to a
+// cluster whose centre exists and lies within distance r, and centres of
+// distinct clusters are pairwise ≥ 1−ε apart. awake filters which nodes
+// must satisfy the membership conditions (nil = all) — under a fault
+// schedule, crashed or sleeping nodes are exempt, mirroring what the
+// algorithm could possibly guarantee. The separation condition is checked
+// over every centre that an awake member refers to.
+//
+// It is the library form of the success oracle behind the chaos suite;
+// unlike Clustering.Validate it never stops at the first violation.
+func CheckClustering(pts []geom.Point, c Clustering, r, eps float64, awake func(node int) bool) CheckReport {
+	var rep CheckReport
+	if len(c.ClusterOf) != len(pts) {
+		// A truncated assignment leaves the uncovered tail unassigned.
+		for i := len(c.ClusterOf); i < len(pts); i++ {
+			if awake == nil || awake(i) {
+				rep.Unassigned = append(rep.Unassigned, i)
+			}
+		}
+	}
+	inUse := map[int32]bool{}
+	for i := 0; i < len(pts) && i < len(c.ClusterOf); i++ {
+		if awake != nil && !awake(i) {
+			continue
+		}
+		φ := c.ClusterOf[i]
+		if φ == Unassigned {
+			rep.Unassigned = append(rep.Unassigned, i)
+			continue
+		}
+		ctr, ok := c.Center[φ]
+		if !ok || ctr < 0 || ctr >= len(pts) {
+			rep.MissingCenter = append(rep.MissingCenter, i)
+			continue
+		}
+		inUse[φ] = true
+		if d := geom.Dist(pts[i], pts[ctr]); d > r+1e-9 {
+			rep.RadiusViolations = append(rep.RadiusViolations, RadiusViolation{Node: i, Center: ctr, Dist: d})
+		}
+	}
+	centers := make([]int, 0, len(inUse))
+	for φ := range inUse {
+		centers = append(centers, c.Center[φ])
+	}
+	// Deterministic pair order for stable reports.
+	for i := 1; i < len(centers); i++ {
+		for j := i; j > 0 && centers[j] < centers[j-1]; j-- {
+			centers[j], centers[j-1] = centers[j-1], centers[j]
+		}
+	}
+	for a := 0; a < len(centers); a++ {
+		for b := a + 1; b < len(centers); b++ {
+			if d := geom.Dist(pts[centers[a]], pts[centers[b]]); d < (1-eps)-1e-9 {
+				rep.SeparationViolations = append(rep.SeparationViolations, SeparationViolation{A: centers[a], B: centers[b], Dist: d})
+			}
+		}
+	}
+	return rep
+}

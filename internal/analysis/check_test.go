@@ -1,0 +1,102 @@
+package analysis
+
+// CheckClustering tests: a hand-built valid clustering, each violation class
+// in isolation, the awake filter, and truncated assignments.
+
+import (
+	"testing"
+
+	"dcluster/internal/geom"
+)
+
+// checkPts is a 6-point layout with two well-separated tight clusters:
+// {0,1,2} around pts[0] and {3,4,5} around pts[3].
+var checkPts = []geom.Point{
+	geom.Pt(0, 0), geom.Pt(0.3, 0), geom.Pt(0, 0.3),
+	geom.Pt(5, 5), geom.Pt(5.3, 5), geom.Pt(5, 5.3),
+}
+
+func validClustering() Clustering {
+	return Clustering{
+		ClusterOf: []int32{1, 1, 1, 2, 2, 2},
+		Center:    map[int32]int{1: 0, 2: 3},
+	}
+}
+
+func TestCheckClusteringValid(t *testing.T) {
+	rep := CheckClustering(checkPts, validClustering(), 1.0, 0.1, nil)
+	if !rep.OK() || rep.Violations() != 0 || rep.Err() != nil {
+		t.Fatalf("valid clustering reported: %s", rep.String())
+	}
+	if rep.String() != "ok" {
+		t.Errorf("String() = %q, want ok", rep.String())
+	}
+}
+
+func TestCheckClusteringUnassigned(t *testing.T) {
+	c := validClustering()
+	c.ClusterOf[4] = Unassigned
+	rep := CheckClustering(checkPts, c, 1.0, 0.1, nil)
+	if len(rep.Unassigned) != 1 || rep.Unassigned[0] != 4 {
+		t.Fatalf("Unassigned = %v, want [4]", rep.Unassigned)
+	}
+	if rep.Err() == nil {
+		t.Error("Err() must be non-nil on violations")
+	}
+}
+
+func TestCheckClusteringMissingCenter(t *testing.T) {
+	c := validClustering()
+	delete(c.Center, 2)
+	rep := CheckClustering(checkPts, c, 1.0, 0.1, nil)
+	if len(rep.MissingCenter) != 3 {
+		t.Fatalf("MissingCenter = %v, want the three members of cluster 2", rep.MissingCenter)
+	}
+}
+
+func TestCheckClusteringRadius(t *testing.T) {
+	c := validClustering()
+	c.ClusterOf[5] = 1 // node at (5, 5.3) claimed by the centre at the origin
+	rep := CheckClustering(checkPts, c, 1.0, 0.1, nil)
+	if len(rep.RadiusViolations) != 1 {
+		t.Fatalf("RadiusViolations = %v, want one", rep.RadiusViolations)
+	}
+	v := rep.RadiusViolations[0]
+	if v.Node != 5 || v.Center != 0 || v.Dist < 7 {
+		t.Errorf("violation = %+v", v)
+	}
+}
+
+func TestCheckClusteringSeparation(t *testing.T) {
+	// Two distinct clusters whose centres are 0.3 apart: separation < 1−ε.
+	c := Clustering{
+		ClusterOf: []int32{1, 2, 1, 3, 3, 3},
+		Center:    map[int32]int{1: 0, 2: 1, 3: 3},
+	}
+	rep := CheckClustering(checkPts, c, 1.0, 0.1, nil)
+	if len(rep.SeparationViolations) != 1 {
+		t.Fatalf("SeparationViolations = %v, want one", rep.SeparationViolations)
+	}
+	v := rep.SeparationViolations[0]
+	if v.A != 0 || v.B != 1 {
+		t.Errorf("violation pair = %+v, want centres 0 and 1", v)
+	}
+}
+
+func TestCheckClusteringAwakeFilter(t *testing.T) {
+	c := validClustering()
+	c.ClusterOf[4] = Unassigned
+	rep := CheckClustering(checkPts, c, 1.0, 0.1, func(i int) bool { return i != 4 })
+	if !rep.OK() {
+		t.Fatalf("down node must be exempt, got: %s", rep.String())
+	}
+}
+
+func TestCheckClusteringTruncated(t *testing.T) {
+	c := validClustering()
+	c.ClusterOf = c.ClusterOf[:4]
+	rep := CheckClustering(checkPts, c, 1.0, 0.1, nil)
+	if len(rep.Unassigned) != 2 {
+		t.Fatalf("truncated tail: Unassigned = %v, want nodes 4 and 5", rep.Unassigned)
+	}
+}

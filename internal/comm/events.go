@@ -153,7 +153,11 @@ func (es *EventScheduler) Pass(
 		es.recValid = false
 		es.lid = env.InternListeners(listeners)
 	}
-	if es.recValid {
+	// Reception replay and capture are sound only while reception is a pure
+	// function of (transmitters, listeners); fault injection breaks that, so
+	// impure executions always run live and never mark a capture valid.
+	pure := env.ReceptionPure()
+	if es.recValid && pure {
 		es.replay(env, start, senders, msgOf, sink)
 		return
 	}
@@ -169,16 +173,18 @@ func (es *EventScheduler) Pass(
 		}
 		env.NextActive(start + int64(i) + 1)
 		ds := env.StepMemo(es.txs, msgOf, listeners, es.lid)
-		for _, d := range ds {
-			es.recs = append(es.recs, sinr.Reception{Receiver: d.Receiver, Sender: d.Sender})
+		if pure {
+			for _, d := range ds {
+				es.recs = append(es.recs, sinr.Reception{Receiver: d.Receiver, Sender: d.Sender})
+			}
+			es.recEnds = append(es.recEnds, int32(len(es.recs)))
 		}
-		es.recEnds = append(es.recEnds, int32(len(es.recs)))
 		sink(i, ds)
 		lo = hi
 	}
 	// The capture is complete only if the loop was not aborted (budget or
 	// cancellation panics unwind past this line).
-	es.recValid = true
+	es.recValid = pure
 	env.NextActive(start + int64(m) + 1)
 }
 

@@ -1,0 +1,166 @@
+package fault
+
+import (
+	"dcluster/internal/geom"
+	"dcluster/internal/sinr"
+)
+
+// Engine decorates a physical-layer engine with the spec's engine-level
+// faults. It computes the inner engine's exact reception set and then
+// filters it: a reception survives only if it still clears the SINR
+// threshold under the round's spiked noise and jammer interference, and its
+// drop coins all land on "keep".
+//
+// Filtering the inner output is semantically exact, not an approximation:
+// added noise and jammer interference degrade every candidate sender at a
+// listener by the same additive interference term, and with β > 1 at most
+// one sender — the strongest — can be received, so faults only ever remove
+// receptions and never change which sender would win. Probabilistic drops
+// remove receptions by definition.
+//
+// The decorator is round-aware (sinr.RoundAware): the execution environment
+// calls SetRound before each Deliver. Query methods (SINR, Receives) answer
+// for the current round; Gain, Distance and CommGraph describe the
+// fault-free geometry.
+type Engine struct {
+	inner sinr.Engine
+	spec  *Spec
+	round int64
+	recs  []sinr.Reception // inner Deliver scratch
+}
+
+// Wrap decorates inner with the spec's engine-level faults. The spec must
+// outlive the engine; the Run layer passes a private clone.
+func Wrap(inner sinr.Engine, spec *Spec) *Engine {
+	return &Engine{inner: inner, spec: spec}
+}
+
+// Unwrap returns the decorated engine (the Run layer releases the inner
+// session back to its pool, not the wrapper).
+func (e *Engine) Unwrap() sinr.Engine { return e.inner }
+
+// SetRound implements sinr.RoundAware.
+func (e *Engine) SetRound(round int64) { e.round = round }
+
+// SetStopCheck implements sinr.StopChecker by forwarding to the inner
+// engine when it supports cooperative cancellation.
+func (e *Engine) SetStopCheck(fn func() error) {
+	if sc, ok := e.inner.(sinr.StopChecker); ok {
+		sc.SetStopCheck(fn)
+	}
+}
+
+// N implements sinr.Engine.
+func (e *Engine) N() int { return e.inner.N() }
+
+// Params implements sinr.Engine (the fault-free base parameters).
+func (e *Engine) Params() sinr.Params { return e.inner.Params() }
+
+// Positions implements sinr.Engine.
+func (e *Engine) Positions() []geom.Point { return e.inner.Positions() }
+
+// Gain implements sinr.Engine (fault-free pairwise gain).
+func (e *Engine) Gain(v, u int) float64 { return e.inner.Gain(v, u) }
+
+// Distance implements sinr.Engine.
+func (e *Engine) Distance(v, u int) float64 { return e.inner.Distance(v, u) }
+
+// CommGraph implements sinr.Engine (fault-free geometry).
+func (e *Engine) CommGraph() [][]int { return e.inner.CommGraph() }
+
+// Session implements sinr.Engine: a decorated view over a fresh inner
+// session, sharing the spec.
+func (e *Engine) Session() sinr.Engine {
+	return &Engine{inner: e.inner.Session(), spec: e.spec}
+}
+
+// Deliver implements sinr.Engine: the inner engine's receptions for the
+// current round, minus those the faults take out.
+func (e *Engine) Deliver(transmitters []int, listeners []int, dst []sinr.Reception) []sinr.Reception {
+	e.recs = e.inner.Deliver(transmitters, listeners, e.recs[:0])
+	r := e.round
+	noiseF := e.spec.noiseFactorAt(r)
+	jamming := e.spec.jammingAt(r)
+	dropping := len(e.spec.Drops) > 0
+	if noiseF == 1 && !jamming && !dropping {
+		return append(dst, e.recs...)
+	}
+	p := e.inner.Params()
+	var pos []geom.Point
+	if jamming {
+		pos = e.inner.Positions()
+	}
+	for _, rec := range e.recs {
+		if noiseF > 1 || jamming {
+			interference := 0.0
+			for _, w := range transmitters {
+				if w != rec.Sender {
+					interference += e.inner.Gain(w, rec.Receiver)
+				}
+			}
+			if jamming {
+				interference += e.spec.jamGain(r, pos[rec.Receiver], p)
+			}
+			if e.inner.Gain(rec.Sender, rec.Receiver) < p.Beta*(noiseF*p.Noise+interference) {
+				continue
+			}
+		}
+		if dropping && !e.spec.keep(r, rec.Sender, rec.Receiver) {
+			continue
+		}
+		dst = append(dst, rec)
+	}
+	return dst
+}
+
+// SINR implements sinr.Engine: Eq. (1) at the current round, with the
+// round's noise spike and jammer interference included.
+func (e *Engine) SINR(v, u int, txs []int) float64 {
+	r := e.round
+	interference := e.spec.jamGain(r, e.positionOf(u), e.inner.Params())
+	seen := false
+	for _, w := range txs {
+		if w == v {
+			seen = true
+			continue
+		}
+		interference += e.inner.Gain(w, u)
+	}
+	if !seen {
+		return 0
+	}
+	p := e.inner.Params()
+	return e.inner.Gain(v, u) / (e.spec.noiseFactorAt(r)*p.Noise + interference)
+}
+
+// Receives implements sinr.Engine: the current round's reception predicate,
+// drop coins included.
+func (e *Engine) Receives(v, u int, txs []int) bool {
+	for _, w := range txs {
+		if w == u {
+			return false
+		}
+	}
+	if e.SINR(v, u, txs) < e.inner.Params().Beta {
+		return false
+	}
+	return e.spec.keep(e.round, v, u)
+}
+
+// positionOf returns u's position, or the origin when the inner engine has
+// no coordinates (jammers are rejected by Validate in that case, so the
+// value is never used).
+func (e *Engine) positionOf(u int) geom.Point {
+	if pos := e.inner.Positions(); pos != nil {
+		return pos[u]
+	}
+	return geom.Pt(0, 0)
+}
+
+// Compile-time checks: the decorator is a full engine with cancellation and
+// round awareness.
+var (
+	_ sinr.Engine      = (*Engine)(nil)
+	_ sinr.StopChecker = (*Engine)(nil)
+	_ sinr.RoundAware  = (*Engine)(nil)
+)

@@ -1,0 +1,191 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a Spec from its textual form: semicolon-separated clauses,
+// each `key=value` with an optional `@from-to` round window (rounds are
+// 1-based; omit `to` for open-ended):
+//
+//	seed=42                 PRNG seed for the drop coins
+//	drop=0.3@50-300         drop each reception with probability 0.3
+//	noise=4x@100-120        multiply ambient noise by 4 (trailing x optional)
+//	jam=1.5,2,8@10-         jammer at (1.5, 2) with power 8 from round 10 on
+//	jam=0,0,8,0.1,0@10-200  the same, drifting at (0.1, 0) per round
+//	crash=7@50-300          node 7 down for [50,300), restarts at 300
+//	crash=3-8               nodes 3..8 down from round 1, forever
+//	sleep=12@100-200        node 12 sleeps for [100,200), no state loss
+//
+// Whitespace around clauses is ignored. Parse validates syntax only; bounds
+// that need the network (node indices, jammer support) are checked by
+// Spec.Validate at run time.
+func Parse(s string) (Spec, error) {
+	var spec Spec
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("fault: clause %q is not key=value", clause)
+		}
+		key = strings.TrimSpace(key)
+		val, win, err := splitWindow(strings.TrimSpace(val))
+		if err != nil {
+			return Spec{}, fmt.Errorf("fault: clause %q: %w", clause, err)
+		}
+		switch key {
+		case "seed":
+			if win != (Window{}) {
+				return Spec{}, fmt.Errorf("fault: seed takes no window in %q", clause)
+			}
+			seed, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("fault: bad seed in %q: %w", clause, err)
+			}
+			spec.Seed = seed
+		case "drop":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("fault: bad drop probability in %q: %w", clause, err)
+			}
+			spec.Drops = append(spec.Drops, Drop{P: p, Window: win})
+		case "noise":
+			f, err := strconv.ParseFloat(strings.TrimSuffix(val, "x"), 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("fault: bad noise factor in %q: %w", clause, err)
+			}
+			spec.Noise = append(spec.Noise, NoiseSpike{Factor: f, Window: win})
+		case "jam":
+			parts := strings.Split(val, ",")
+			if len(parts) != 3 && len(parts) != 5 {
+				return Spec{}, fmt.Errorf("fault: jam needs x,y,power[,vx,vy] in %q", clause)
+			}
+			nums := make([]float64, len(parts))
+			for i, p := range parts {
+				nums[i], err = strconv.ParseFloat(strings.TrimSpace(p), 64)
+				if err != nil {
+					return Spec{}, fmt.Errorf("fault: bad jam coordinate in %q: %w", clause, err)
+				}
+			}
+			j := Jammer{Window: win}
+			j.At.X, j.At.Y, j.Power = nums[0], nums[1], nums[2]
+			if len(nums) == 5 {
+				j.Vel.X, j.Vel.Y = nums[3], nums[4]
+			}
+			spec.Jammers = append(spec.Jammers, j)
+		case "crash", "sleep":
+			lo, hi, err := parseNodeRange(val)
+			if err != nil {
+				return Spec{}, fmt.Errorf("fault: clause %q: %w", clause, err)
+			}
+			for node := lo; node <= hi; node++ {
+				spec.Crashes = append(spec.Crashes, Crash{Node: node, Window: win, Sleep: key == "sleep"})
+			}
+		default:
+			return Spec{}, fmt.Errorf("fault: unknown clause key %q", key)
+		}
+	}
+	return spec, nil
+}
+
+// splitWindow splits an optional trailing `@from-to` window off a clause
+// value.
+func splitWindow(val string) (string, Window, error) {
+	body, w, ok := strings.Cut(val, "@")
+	if !ok {
+		return val, Window{}, nil
+	}
+	if strings.Contains(w, "@") {
+		return "", Window{}, fmt.Errorf("multiple @ windows")
+	}
+	fromS, toS, dashed := strings.Cut(w, "-")
+	from, err := strconv.ParseInt(strings.TrimSpace(fromS), 10, 64)
+	if err != nil {
+		return "", Window{}, fmt.Errorf("bad window start %q: %w", fromS, err)
+	}
+	win := Window{From: from}
+	if dashed && strings.TrimSpace(toS) != "" {
+		win.To, err = strconv.ParseInt(strings.TrimSpace(toS), 10, 64)
+		if err != nil {
+			return "", Window{}, fmt.Errorf("bad window end %q: %w", toS, err)
+		}
+	}
+	if err := win.validate(); err != nil {
+		return "", Window{}, err
+	}
+	return strings.TrimSpace(body), win, nil
+}
+
+// parseNodeRange parses `N` or `LO-HI` (inclusive).
+func parseNodeRange(val string) (lo, hi int, err error) {
+	loS, hiS, dashed := strings.Cut(val, "-")
+	lo, err = strconv.Atoi(strings.TrimSpace(loS))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad node %q: %w", loS, err)
+	}
+	hi = lo
+	if dashed {
+		hi, err = strconv.Atoi(strings.TrimSpace(hiS))
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad node range end %q: %w", hiS, err)
+		}
+	}
+	if hi < lo {
+		return 0, 0, fmt.Errorf("empty node range %d-%d", lo, hi)
+	}
+	return lo, hi, nil
+}
+
+// String renders the spec in the canonical form Parse accepts, one clause
+// per fault entry; Parse(s.String()) reproduces s.
+func (s *Spec) String() string {
+	var b strings.Builder
+	clause := func(format string, args ...any) {
+		if b.Len() > 0 {
+			b.WriteString(";")
+		}
+		fmt.Fprintf(&b, format, args...)
+	}
+	if s.Seed != 0 {
+		clause("seed=%d", s.Seed)
+	}
+	for _, d := range s.Drops {
+		clause("drop=%s%s", fmtF(d.P), d.Window)
+	}
+	for _, sp := range s.Noise {
+		clause("noise=%s%s", fmtF(sp.Factor), sp.Window)
+	}
+	for _, j := range s.Jammers {
+		if j.Vel.X != 0 || j.Vel.Y != 0 {
+			clause("jam=%s,%s,%s,%s,%s%s", fmtF(j.At.X), fmtF(j.At.Y), fmtF(j.Power), fmtF(j.Vel.X), fmtF(j.Vel.Y), j.Window)
+		} else {
+			clause("jam=%s,%s,%s%s", fmtF(j.At.X), fmtF(j.At.Y), fmtF(j.Power), j.Window)
+		}
+	}
+	for _, c := range s.Crashes {
+		key := "crash"
+		if c.Sleep {
+			key = "sleep"
+		}
+		clause("%s=%d%s", key, c.Node, c.Window)
+	}
+	return b.String()
+}
+
+// String renders the window suffix ("" when the window is all rounds).
+func (w Window) String() string {
+	if w.From <= 1 && w.To == 0 {
+		return ""
+	}
+	if w.To == 0 {
+		return fmt.Sprintf("@%d-", w.From)
+	}
+	return fmt.Sprintf("@%d-%d", w.From, w.To)
+}
+
+func fmtF(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

@@ -51,6 +51,21 @@ type Control struct {
 	// exists for those tests and for debugging observers at single-round
 	// granularity.
 	DisableFastForward bool
+	// NodeFaults, when non-nil, is the deterministic node-outage schedule:
+	// down nodes are stripped from every transmitter set and reception list.
+	NodeFaults NodeFaults
+	// StallWindow, when positive, arms the stall watchdog: the execution
+	// aborts with ErrStalled after StallWindow consecutive rounds with no
+	// delivery and no phase mark. The window is measured on the round
+	// clock — fast-forwarded silent stretches count (and abort at exactly
+	// the round single-stepping would) — so it must be sized well above the
+	// protocol's longest natural progress-free stretch.
+	StallWindow int64
+	// ImpureReception declares that reception outcomes depend on more than
+	// the (transmitters, listeners) pair — the fault layer sets it — so the
+	// memoization and replay layers bypass their caches (see
+	// Env.ReceptionPure).
+	ImpureReception bool
 }
 
 // stopExecution is the panic payload that unwinds an aborted execution out
@@ -92,6 +107,16 @@ type Env struct {
 	delBuf  []Delivery
 	passBuf []Delivery
 	memo    envMemo
+
+	// Fault-layer state (see fault.go): the restart schedule cursor, the
+	// restart callback, the stall watchdog's idle-round counter, the
+	// transmitter-filter scratch, and the engine's round hook.
+	restarts   []Restart
+	restartIdx int
+	onRestart  func(node int)
+	idle       int64
+	txFilt     []int
+	ra         sinr.RoundAware
 }
 
 // Stats aggregates execution counters.
@@ -180,13 +205,39 @@ func (e *Env) Stats() Stats {
 func (e *Env) Marks() []Mark { return e.marks }
 
 // SetControl attaches run-scoped execution policy (context, round budget,
-// observer). Call before the execution starts; the zero Control clears it.
-func (e *Env) SetControl(c Control) { e.ctl = c }
+// observer, fault schedule, stall watchdog). Call before the execution
+// starts; the zero Control clears it.
+func (e *Env) SetControl(c Control) {
+	e.ctl = c
+	e.restarts, e.restartIdx = nil, 0
+	if c.NodeFaults != nil {
+		e.restarts = c.NodeFaults.Restarts()
+	}
+	e.idle = 0
+	// Round-dependent engine decorators (the fault layer) learn the round
+	// number before each Deliver.
+	e.ra, _ = e.F.(sinr.RoundAware)
+	// Install (or clear — sessions are pooled across runs) the engines'
+	// cooperative mid-round cancellation hook.
+	if sc, ok := e.F.(sinr.StopChecker); ok {
+		if ctx := c.Ctx; ctx != nil {
+			sc.SetStopCheck(func() error {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("%w: %w", ErrCanceled, err)
+				}
+				return nil
+			})
+		} else {
+			sc.SetStopCheck(nil)
+		}
+	}
+}
 
 // MarkPhase records a labelled timeline point at the current round and
 // notifies the observer, if any.
 func (e *Env) MarkPhase(label string) {
 	e.marks = append(e.marks, Mark{Label: label, Round: e.rounds})
+	e.noteProgress()
 	if e.ctl.Observer != nil {
 		e.ctl.Observer.OnPhase(label, e.rounds)
 	}
@@ -202,7 +253,7 @@ func (e *Env) checkStop() {
 	}
 	if e.ctl.Ctx != nil {
 		if err := e.ctl.Ctx.Err(); err != nil {
-			panic(stopExecution{err})
+			panic(stopExecution{fmt.Errorf("%w: %w", ErrCanceled, err)})
 		}
 	}
 }
@@ -222,17 +273,28 @@ func (e *Env) checkStop() {
 func (e *Env) Step(txs []int, msgOf func(node int) Msg, listeners []int) []Delivery {
 	e.checkStop()
 	e.rounds++
+	e.fireRestarts()
+	txs = e.filterDown(txs)
 	e.stats.Transmissions += int64(len(txs))
 	if len(txs) == 0 {
 		if e.ctl.Observer != nil {
 			e.ctl.Observer.OnRound(e.rounds, 0, 0)
 		}
+		e.noteSilentRound()
 		return nil
 	}
 	e.recordTx(txs)
+	if e.ra != nil {
+		e.ra.SetRound(e.rounds)
+	}
 	e.recBuf = e.F.Deliver(txs, listeners, e.recBuf[:0])
 	out := e.delBuf[:0]
+	nf := e.ctl.NodeFaults
+	deaf := nf != nil && nf.AnyDown(e.rounds) // some receivers may be down
 	for _, r := range e.recBuf {
+		if deaf && nf.Down(r.Receiver, e.rounds) {
+			continue
+		}
 		m := msgOf(r.Sender)
 		if err := m.Validate(); err != nil {
 			panic(err) // programming error: oversized message
@@ -244,6 +306,7 @@ func (e *Env) Step(txs []int, msgOf func(node int) Msg, listeners []int) []Deliv
 	if e.ctl.Observer != nil {
 		e.ctl.Observer.OnRound(e.rounds, len(txs), len(out))
 	}
+	e.noteLiveRound(len(out))
 	return out
 }
 
@@ -259,11 +322,13 @@ func (e *Env) Step(txs []int, msgOf func(node int) Msg, listeners []int) []Deliv
 func (e *Env) StepReplay(txs []int, recs []sinr.Reception, msgOf func(node int) Msg) []Delivery {
 	e.checkStop()
 	e.rounds++
+	e.fireRestarts() // replay only runs in pure executions, where this is empty
 	e.stats.Transmissions += int64(len(txs))
 	if len(txs) == 0 {
 		if e.ctl.Observer != nil {
 			e.ctl.Observer.OnRound(e.rounds, 0, 0)
 		}
+		e.noteSilentRound()
 		return nil
 	}
 	e.recordTx(txs)
@@ -280,6 +345,7 @@ func (e *Env) StepReplay(txs []int, recs []sinr.Reception, msgOf func(node int) 
 	if e.ctl.Observer != nil {
 		e.ctl.Observer.OnRound(e.rounds, len(txs), len(out))
 	}
+	e.noteLiveRound(len(out))
 	return out
 }
 
@@ -293,14 +359,27 @@ func (e *Env) Skip(k int64) {
 	}
 	if e.ctl.Ctx != nil {
 		if err := e.ctl.Ctx.Err(); err != nil {
-			panic(stopExecution{err})
+			panic(stopExecution{fmt.Errorf("%w: %w", ErrCanceled, err)})
 		}
 	}
-	if e.ctl.MaxRounds > 0 && e.rounds+k > e.ctl.MaxRounds {
+	// The stall watchdog and the round budget fire at whichever absolute
+	// round comes first, exactly as stepping the stretch one round at a time
+	// would (the budget aborts before its round runs, the watchdog after).
+	stallAt := e.stallRound(k)
+	if e.ctl.MaxRounds > 0 && e.rounds+k > e.ctl.MaxRounds && (stallAt == 0 || stallAt > e.ctl.MaxRounds) {
 		e.rounds = e.ctl.MaxRounds
+		e.fireRestarts()
 		panic(stopExecution{ErrRoundBudget})
 	}
+	if stallAt != 0 {
+		e.rounds = stallAt
+		e.idle = e.ctl.StallWindow
+		e.fireRestarts()
+		panic(stopExecution{ErrStalled})
+	}
 	e.rounds += k
+	e.idle += k
+	e.fireRestarts()
 }
 
 // NextActive declares that no node transmits in any round strictly before
@@ -326,9 +405,11 @@ func (e *Env) NextActive(r int64) {
 		for ; k > 0; k-- {
 			e.checkStop()
 			e.rounds++
+			e.fireRestarts()
 			if e.ctl.Observer != nil {
 				e.ctl.Observer.OnRound(e.rounds, 0, 0)
 			}
+			e.noteSilentRound()
 		}
 		return
 	}

@@ -92,7 +92,9 @@ func (e *Env) InternListeners(listeners []int) uint32 {
 // outcome is captured. Results, statistics and observer behaviour are
 // byte-identical to Step either way.
 func (e *Env) StepMemo(txs []int, msgOf func(node int) Msg, listeners []int, lid uint32) []Delivery {
-	if len(txs) == 0 || len(txs) > memoTxCap {
+	if len(txs) == 0 || len(txs) > memoTxCap || e.ctl.ImpureReception {
+		// Fault injection makes reception round-dependent: every round is
+		// genuinely new physics, so the memo never captures or replays.
 		return e.Step(txs, msgOf, listeners)
 	}
 	if len(txs) == 1 {

@@ -44,7 +44,7 @@ type winCell struct {
 // built. It processes listeners cell by cell in row-major order, then emits
 // receptions in listener order from the flat outcome array, matching the
 // per-listener path's output exactly.
-func (f *SparseField) deliverAccum(txs []int, listeners []int, dst []Reception) []Reception {
+func (f *SparseField) deliverAccum(txs []int, listeners []int, dst []Reception) ([]Reception, error) {
 	s := f.scr
 	var isL []bool
 	if listeners != nil {
@@ -54,6 +54,7 @@ func (f *SparseField) deliverAccum(txs []int, listeners []int, dst []Reception) 
 		}
 	}
 
+	var stopErr error
 	rows := f.ny
 	if f.workers >= 2 && f.n >= parallelCutoff && rows >= 2 {
 		s.outSeq = false
@@ -65,6 +66,7 @@ func (f *SparseField) deliverAccum(txs []int, listeners []int, dst []Reception) 
 			s.winPar = append(s.winPar, make([]winCell, 0, cap(s.win)))
 			s.outwPar = append(s.outwPar, make([]winCell, 0, cap(s.outw)))
 			s.d2qPar = append(s.d2qPar, make([]float64, 0, cap(s.d2q)))
+			s.stripeErr = append(s.stripeErr, nil)
 		}
 		per := (rows + stripes - 1) / stripes
 		var wg sync.WaitGroup
@@ -77,19 +79,38 @@ func (f *SparseField) deliverAccum(txs []int, listeners []int, dst []Reception) 
 			if y0 >= y1 {
 				continue
 			}
+			s.stripeErr[w] = nil
 			wg.Add(1)
 			// isL and txs are passed as arguments (not captured): a capture
 			// would force the variables to the heap on every call, including
 			// the sequential rounds that never spawn a goroutine.
 			go func(w, y0, y1 int, txs []int, isL []bool) {
 				defer wg.Done()
-				s.winPar[w], s.outwPar[w], s.d2qPar[w] = f.accumRows(y0, y1, txs, isL, s.winPar[w], s.outwPar[w], s.d2qPar[w])
+				s.winPar[w], s.outwPar[w], s.d2qPar[w], s.stripeErr[w] = f.accumRows(y0, y1, txs, isL, s.winPar[w], s.outwPar[w], s.d2qPar[w])
 			}(w, y0, y1, txs, isL)
 		}
 		wg.Wait()
+		for w := 0; w < stripes; w++ {
+			if err := s.stripeErr[w]; err != nil {
+				stopErr = err
+				break
+			}
+		}
 	} else {
 		s.outSeq = true
-		s.win, s.outw, s.d2q = f.accumRows(0, rows, txs, isL, s.win, s.outw, s.d2q)
+		s.win, s.outw, s.d2q, stopErr = f.accumRows(0, rows, txs, isL, s.win, s.outw, s.d2q)
+	}
+
+	if stopErr != nil {
+		// Aborted mid-accumulation: restore the listener bitmap and hand the
+		// error up without emitting (the epoch stamp invalidates any partial
+		// outcomes on the next round).
+		if listeners != nil {
+			for _, u := range listeners {
+				isL[u] = false
+			}
+		}
+		return dst, stopErr
 	}
 
 	// Emission sweep, in listener order. Listeners of skipped cells (no
@@ -109,7 +130,7 @@ func (f *SparseField) deliverAccum(txs []int, listeners []int, dst []Reception) 
 			isL[u] = false
 		}
 	}
-	return dst
+	return dst, nil
 }
 
 // accumRows runs the cell-blocked accumulation over listener-cell rows
@@ -139,7 +160,7 @@ func (f *SparseField) deliverAccum(txs []int, listeners []int, dst []Reception) 
 // Tiers 1–2 only ever conclude "no reception", and only under the same
 // certSlack margins the decide chain uses, so the outcome is byte-identical
 // to the per-listener path.
-func (f *SparseField) accumRows(y0, y1 int, txs []int, isL []bool, win, outw []winCell, d2q []float64) ([]winCell, []winCell, []float64) {
+func (f *SparseField) accumRows(y0, y1 int, txs []int, isL []bool, win, outw []winCell, d2q []float64) ([]winCell, []winCell, []float64, error) {
 	s := f.scr
 	far2 := f.far * f.far
 	rangeQ2 := f.rangeQ2
@@ -155,6 +176,14 @@ func (f *SparseField) accumRows(y0, y1 int, txs []int, isL []bool, win, outw []w
 			members := f.lidx.nodes[f.lidx.start[c]:f.lidx.start[c+1]]
 			if len(members) == 0 {
 				continue
+			}
+			// Cooperative cancellation, once per nonempty listener cell: the
+			// per-cell work dominates the hook call, and stripes bail without
+			// panicking (the caller aborts after Wait).
+			if f.stop != nil {
+				if err := f.stop(); err != nil {
+					return win, outw, d2q, err
+				}
 			}
 			wxlo, wxhi := max(cx-f.span, 0), min(cx+f.span, f.nx-1)
 			wylo, wyhi := max(cy-f.span, 0), min(cy+f.span, f.ny-1)
@@ -319,5 +348,5 @@ func (f *SparseField) accumRows(y0, y1 int, txs []int, isL []bool, win, outw []w
 			}
 		}
 	}
-	return win, outw, d2q
+	return win, outw, d2q, nil
 }

@@ -61,6 +61,55 @@ var (
 	_ Engine = (*SparseField)(nil)
 )
 
+// StopChecker is implemented by engines supporting cooperative mid-round
+// cancellation: Deliver calls fn periodically (every few hundred listeners)
+// and aborts — by panicking with a payload AbortError recognises — as soon
+// as it returns a non-nil error. The hook must be safe to call from multiple
+// goroutines (the sparse engine polls it from its worker pool); a context's
+// Err method is. Passing nil clears the hook. Both built-in engines
+// implement it; the run layer installs the context check once per execution.
+type StopChecker interface {
+	SetStopCheck(fn func() error)
+}
+
+// RoundAware is implemented by engine layers whose Deliver semantics depend
+// on the absolute round number — the fault-injection decorator. The
+// execution environment calls SetRound with the new round number before each
+// Deliver; engines that are pure functions of the transmitter set simply
+// don't implement it.
+type RoundAware interface {
+	SetRound(round int64)
+}
+
+// deliverAbort carries a mid-round cancellation out of Deliver. Engines
+// panic with it only from the caller's goroutine and only after restoring
+// their scratch state (transmitter bitmaps, CSR buckets), so an aborted
+// session remains valid for reuse.
+type deliverAbort struct{ err error }
+
+// AbortError returns the cancellation error carried by a recovered Deliver
+// panic, or nil if the panic is not a mid-round abort.
+func AbortError(r any) error {
+	if a, ok := r.(deliverAbort); ok {
+		return a.err
+	}
+	return nil
+}
+
+// abortDeliver unwinds a Deliver whose stop check tripped. Callers must have
+// cleaned up their per-round scratch first.
+func abortDeliver(err error) { panic(deliverAbort{err}) }
+
+// stopStride is the listener-loop granularity of the cooperative stop check:
+// one hook call every stopStride+1 iterations (the stride is a power-of-two
+// mask, so the steady-state cost is one branch per listener).
+const stopStride = 255
+
+// GainAt returns the received power of a transmission over distance d under
+// the model parameters — the shared path-loss formula of both engines,
+// exported for the fault layer's jammer interference terms.
+func GainAt(p Params, d float64) float64 { return gainAt(p, d) }
+
 // sinrOf is the shared Eq. (1) computation behind both engines' SINR
 // methods: the ratio at u for sender v given the full transmitter set txs
 // (which must contain v).

@@ -33,6 +33,10 @@ type Field struct {
 	scratch []bool // reusable transmitter bitmap for Deliver
 	cand    *candScratch
 
+	// stop is the cooperative mid-round cancellation hook (see StopChecker);
+	// nil when no run-scoped control is attached.
+	stop func() error
+
 	// Transposed-accumulation scratch (see deliverTransposed).
 	accTot, accBest []float64
 	accBestV        []int32
@@ -157,6 +161,27 @@ func (f *Field) Deliver(transmitters []int, listeners []int, dst []Reception) []
 	for _, v := range transmitters {
 		isTx[v] = true
 	}
+	dst, err := f.deliverMarked(transmitters, listeners, dst)
+	for _, v := range transmitters {
+		isTx[v] = false
+	}
+	if err != nil {
+		// The scratch bitmap is already restored, so the session survives the
+		// abort; the panic unwinds the execution through the run layer.
+		abortDeliver(err)
+	}
+	return dst
+}
+
+// SetStopCheck installs the cooperative mid-round cancellation hook; see
+// StopChecker.
+func (f *Field) SetStopCheck(fn func() error) { f.stop = fn }
+
+// deliverMarked is the Deliver core, entered with the transmitter bitmap set
+// up. It returns a non-nil error (with the partial dst discarded by the
+// caller's abort) when the stop hook trips between listener chunks.
+func (f *Field) deliverMarked(transmitters []int, listeners []int, dst []Reception) ([]Reception, error) {
+	isTx := f.scratch
 	count := f.n
 	if listeners != nil {
 		count = len(listeners)
@@ -169,11 +194,7 @@ func (f *Field) Deliver(transmitters []int, listeners []int, dst []Reception) []
 	// sequential memory instead of one gathered column read per (listener,
 	// transmitter) pair.
 	if len(transmitters) >= 2 && 2*count > f.n {
-		dst = f.deliverTransposed(transmitters, listeners, dst)
-		for _, v := range transmitters {
-			isTx[v] = false
-		}
-		return dst
+		return f.deliverTransposed(transmitters, listeners, dst)
 	}
 	var cs *candScratch
 	if f.lidx != nil && txCandCells*len(transmitters) < count {
@@ -186,6 +207,11 @@ func (f *Field) Deliver(transmitters []int, listeners []int, dst []Reception) []
 	}
 	if listeners == nil {
 		for u := 0; u < f.n; u++ {
+			if u&stopStride == 0 && f.stop != nil {
+				if err := f.stop(); err != nil {
+					return dst, err
+				}
+			}
 			if isTx[u] || (cs != nil && f.lidx.skip(u, cs)) {
 				continue
 			}
@@ -194,7 +220,12 @@ func (f *Field) Deliver(transmitters []int, listeners []int, dst []Reception) []
 			}
 		}
 	} else {
-		for _, u := range listeners {
+		for i, u := range listeners {
+			if i&stopStride == 0 && f.stop != nil {
+				if err := f.stop(); err != nil {
+					return dst, err
+				}
+			}
 			if isTx[u] || (cs != nil && f.lidx.skip(u, cs)) {
 				continue
 			}
@@ -203,18 +234,16 @@ func (f *Field) Deliver(transmitters []int, listeners []int, dst []Reception) []
 			}
 		}
 	}
-	for _, v := range transmitters {
-		isTx[v] = false
-	}
-	return dst
+	return dst, nil
 }
 
 // deliverTransposed is the dense-round Deliver core: transmitters' gain
 // rows are accumulated into per-listener totals/maxima (in transmitter
 // order, matching the per-listener scan's float summation and first-wins
 // argmax exactly), then the β threshold is applied in listener order. The
-// caller has already marked isTx.
-func (f *Field) deliverTransposed(transmitters []int, listeners []int, dst []Reception) []Reception {
+// caller has already marked isTx. The stop hook is polled once per
+// transmitter row (each row is an O(n) sweep).
+func (f *Field) deliverTransposed(transmitters []int, listeners []int, dst []Reception) ([]Reception, error) {
 	if f.accTot == nil {
 		f.accTot = make([]float64, f.n)
 		f.accBest = make([]float64, f.n)
@@ -222,6 +251,11 @@ func (f *Field) deliverTransposed(transmitters []int, listeners []int, dst []Rec
 	}
 	tot, best, bestV := f.accTot, f.accBest, f.accBestV
 	for t, v := range transmitters {
+		if f.stop != nil {
+			if err := f.stop(); err != nil {
+				return dst, err
+			}
+		}
 		row := f.gain[v]
 		if t == 0 {
 			// First transmitter initialises the accumulators — no clearing
@@ -265,7 +299,7 @@ func (f *Field) deliverTransposed(transmitters []int, listeners []int, dst []Rec
 			emit(u)
 		}
 	}
-	return dst
+	return dst, nil
 }
 
 // decide resolves listener u for one round: the winning sender, if any.
@@ -328,6 +362,7 @@ func (f *Field) Session() Engine {
 	g.scratch = nil
 	g.cand = nil
 	g.accTot, g.accBest, g.accBestV = nil, nil, nil
+	g.stop = nil
 	return &g
 }
 

@@ -144,6 +144,13 @@ type SparseField struct {
 
 	workers int
 
+	// stop is the cooperative mid-round cancellation hook (see StopChecker);
+	// nil when no run-scoped control is attached. Polled by the serial
+	// listener loops, the parallel chunk workers and the accumulating path's
+	// cell sweeps; workers bail out cooperatively and the abort panic is
+	// raised from the caller's goroutine only.
+	stop func() error
+
 	// pathOverride forces the grid-round path selection in tests: > 0 takes
 	// the accumulating cell-blocked path, < 0 the per-listener path, 0 (the
 	// default) dispatches on the measured density threshold (useAccumPath).
@@ -175,6 +182,8 @@ type sparseScratch struct {
 	dirty     []int32 // nonempty cell ids of the current round (for reset)
 	isTx      []bool
 	chunkRes  [][]Reception // reusable per-chunk result buffers
+	chunkErr  []error       // per-chunk stop errors (parallel cancellation)
+	stripeErr []error       // per-stripe stop errors (accumulating path)
 
 	// Supercell transmitter totals, the coarse level of the far-field bound.
 	superCount []int32
@@ -308,8 +317,14 @@ func (f *SparseField) Session() Engine {
 	f.sessioned.Store(true)
 	g := *f
 	g.scr = f.newScratch()
+	g.stop = nil
 	return &g
 }
+
+// SetStopCheck installs the cooperative mid-round cancellation hook; see
+// StopChecker. The hook is polled from Deliver's worker goroutines too, so
+// it must be goroutine-safe (a context's Err method is).
+func (f *SparseField) SetStopCheck(fn func() error) { f.stop = fn }
 
 // SetFarRadius overrides the far-field truncation radius. It must be at
 // least the transmission range (candidate senders are searched within the
@@ -377,7 +392,11 @@ func (f *SparseField) buildFineTables() {
 	f.span = int(f.far/f.cell) + 1
 	f.refineOK = f.span <= fineHalf
 	f.outOK = f.span <= superSide
-	f.gLoWinL = gainAt(f.params, math.Sqrt2*(f.far+f.cell))
+	// The per-listener scan box is p ± far expanded to the 3×3 inner block,
+	// so a scanned cell's farthest point is max(far+cell, 2·cell) away per
+	// axis — the second term dominates only in the coarse-cell regime where
+	// the cell side exceeds the far radius.
+	f.gLoWinL = gainAt(f.params, math.Sqrt2*math.Max(f.far+f.cell, 2*f.cell))
 	f.gLoWinB = gainAt(f.params, math.Sqrt2*(f.far+2*f.cell))
 	// gain(d) ≥ β·noise·(1−certSlack) ⟺ d² ≤ range²·(1−certSlack)^(−2/α):
 	// the ball the quick certain-no scan must cover exactly.
@@ -607,12 +626,18 @@ func (f *SparseField) Deliver(transmitters []int, listeners []int, dst []Recepti
 	if useGrid {
 		f.bucketTx(transmitters)
 	}
-	dst = f.deliverMarked(transmitters, listeners, dst, useGrid)
+	dst, err := f.deliverMarked(transmitters, listeners, dst, useGrid)
 	if useGrid {
 		f.resetBuckets()
 	}
 	for _, v := range transmitters {
 		s.isTx[v] = false
+	}
+	if err != nil {
+		// Scratch state (bitmap, CSR buckets) is fully restored above, so the
+		// session survives the abort; the panic unwinds through the run layer
+		// from the caller's goroutine (never from a worker).
+		abortDeliver(err)
 	}
 	return dst
 }
@@ -620,8 +645,9 @@ func (f *SparseField) Deliver(transmitters []int, listeners []int, dst []Recepti
 // deliverMarked is the Deliver core, entered with the transmitter bitmap
 // (and, on the grid path, the CSR buckets) already set up; splitting the
 // set-up/tear-down out keeps the hot path free of deferred closures, so a
-// steady-state round allocates nothing.
-func (f *SparseField) deliverMarked(transmitters []int, listeners []int, dst []Reception, useGrid bool) []Reception {
+// steady-state round allocates nothing. A non-nil error means the stop hook
+// tripped mid-round; the caller restores scratch and aborts.
+func (f *SparseField) deliverMarked(transmitters []int, listeners []int, dst []Reception, useGrid bool) ([]Reception, error) {
 	s := f.scr
 	count := f.n
 	if listeners != nil {
@@ -659,6 +685,11 @@ func (f *SparseField) deliverMarked(transmitters []int, listeners []int, dst []R
 	if count < parallelCutoff || f.workers < 2 {
 		s.outSeq = true
 		for i := 0; i < count; i++ {
+			if i&stopStride == 0 && f.stop != nil {
+				if err := f.stop(); err != nil {
+					return dst, err
+				}
+			}
 			u := i
 			if listeners != nil {
 				u = listeners[i]
@@ -673,7 +704,7 @@ func (f *SparseField) deliverMarked(transmitters []int, listeners []int, dst []R
 				dst = append(dst, Reception{Receiver: u, Sender: v})
 			}
 		}
-		return dst
+		return dst, nil
 	}
 
 	// Parallel path: split the listener range into chunks, one result slice
@@ -688,6 +719,7 @@ func (f *SparseField) deliverMarked(transmitters []int, listeners []int, dst []R
 	}
 	for len(s.chunkRes) < chunks {
 		s.chunkRes = append(s.chunkRes, nil)
+		s.chunkErr = append(s.chunkErr, nil)
 	}
 	per := (count + chunks - 1) / chunks
 	// Rebind the captured variables locally: the goroutine closure would
@@ -702,6 +734,7 @@ func (f *SparseField) deliverMarked(transmitters []int, listeners []int, dst []R
 			hi = count
 		}
 		s.chunkRes[c] = s.chunkRes[c][:0]
+		s.chunkErr[c] = nil
 		if lo >= hi {
 			continue
 		}
@@ -710,6 +743,15 @@ func (f *SparseField) deliverMarked(transmitters []int, listeners []int, dst []R
 			defer wg.Done()
 			out := s.chunkRes[c]
 			for i := lo; i < hi; i++ {
+				// Cooperative cancellation: workers poll the shared hook (a
+				// context Err, so a trip is visible to every chunk at once)
+				// and bail; the caller raises the abort after Wait.
+				if i&stopStride == 0 && f.stop != nil {
+					if err := f.stop(); err != nil {
+						s.chunkErr[c] = err
+						break
+					}
+				}
 				u := i
 				if lst != nil {
 					u = lst[i]
@@ -728,10 +770,15 @@ func (f *SparseField) deliverMarked(transmitters []int, listeners []int, dst []R
 		}(c, lo, hi)
 	}
 	wg.Wait()
+	for c := 0; c < chunks; c++ {
+		if err := s.chunkErr[c]; err != nil {
+			return dst, err
+		}
+	}
 	for _, out := range s.chunkRes[:chunks] {
 		dst = append(dst, out...)
 	}
-	return dst
+	return dst, nil
 }
 
 // scanAcc carries the near-scan accumulation of one listener: the exact near
@@ -796,10 +843,16 @@ func (f *SparseField) checkListener(u int, txs []int, useGrid bool) (int, bool) 
 	far2 := f.far * f.far
 	a := scanAcc{bestV: -1}
 
-	cxlo := int((p.X - f.min.X - f.far) / f.cell)
-	cxhi := int((p.X - f.min.X + f.far) / f.cell)
-	cylo := int((p.Y - f.min.Y - f.far) / f.cell)
-	cyhi := int((p.Y - f.min.Y + f.far) / f.cell)
+	// The scan box is p ± far, expanded to always cover the inner 3×3 cell
+	// block: when the grid cell exceeds the far radius (huge sparse areas cap
+	// the cell count, which grows the cell side), p ± far can fall short of
+	// the adjacent cells — which may still hold in-range senders and
+	// near-field interferers.
+	ux, uy := int(f.posCell[u])%f.nx, int(f.posCell[u])/f.nx
+	cxlo := min(int((p.X-f.min.X-f.far)/f.cell), ux-1)
+	cxhi := max(int((p.X-f.min.X+f.far)/f.cell), ux+1)
+	cylo := min(int((p.Y-f.min.Y-f.far)/f.cell), uy-1)
+	cyhi := max(int((p.Y-f.min.Y+f.far)/f.cell), uy+1)
 	if cxlo < 0 {
 		cxlo = 0
 	}
@@ -818,7 +871,6 @@ func (f *SparseField) checkListener(u int, txs []int, useGrid bool) (int, bool) 
 	// range). Scan it first; if it holds no transmitter strong enough to
 	// ever clear β·noise, no delivery is possible and the outer ring scan
 	// is skipped entirely — the common case in low-density rounds.
-	ux, uy := int(f.posCell[u])%f.nx, int(f.posCell[u])/f.nx
 	ixlo, ixhi := max(cxlo, ux-1), min(cxhi, ux+1)
 	iylo, iyhi := max(cylo, uy-1), min(cyhi, uy+1)
 	refine := f.refineOK

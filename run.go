@@ -2,17 +2,64 @@ package dcluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 
 	"dcluster/internal/broadcast"
 	"dcluster/internal/core"
+	"dcluster/internal/fault"
 	"dcluster/internal/sim"
+	"dcluster/internal/sinr"
 )
 
 // ErrRoundBudget is returned by Run when the WithMaxRounds budget is
 // exhausted before the task completes. The accompanying *Result carries the
 // partial execution statistics. Test with errors.Is.
 var ErrRoundBudget = sim.ErrRoundBudget
+
+// ErrCanceled is returned by Run when the context is cancelled, wrapped
+// around the context's own error — errors.Is matches both ErrCanceled and
+// context.Canceled / DeadlineExceeded. Cancellation is honored mid-round:
+// both engines poll the context inside their Deliver loops, so even a
+// single multi-second dense round at large n aborts promptly with partial
+// Stats.
+var ErrCanceled = sim.ErrCanceled
+
+// ErrStalled is returned by Run when the WithStallDetector watchdog fires:
+// no observable progress (no delivery, no phase mark) for the configured
+// window of consecutive rounds. The partial Result is returned alongside.
+var ErrStalled = sim.ErrStalled
+
+// ErrBadOption is returned by Run when a RunOption carries an invalid value
+// (non-positive round budget or stall window, nil observer, conflicting or
+// invalid fault specs). The check is fail-fast: nothing runs.
+var ErrBadOption = errors.New("dcluster: invalid run option")
+
+// ErrInternal is returned by Run when the execution panics outside the
+// controlled abort paths — a buggy observer, an engine invariant violation —
+// instead of crashing the caller. The error carries the panic value and
+// stack; the partial Result is returned alongside.
+var ErrInternal = errors.New("dcluster: internal panic during run")
+
+// ErrInvariant is returned by Run when a completed clustering violates the
+// paper's invariants (every node assigned, heads within the radius bound,
+// heads pairwise separated) — the expected failure mode under fault
+// injection. The Result still carries the invalid clustering so callers can
+// inspect how it degraded.
+var ErrInvariant = errors.New("dcluster: clustering invariant violated")
+
+// FaultSpec is a deterministic fault scenario for WithFaults: seeded
+// probabilistic drops, noise spikes, jammers and node crash/sleep schedules.
+// Build one literally or with ParseFaultSpec; the zero FaultSpec injects
+// nothing. Identical (seed, spec) pairs yield byte-identical executions on
+// repeated runs and across both engines.
+type FaultSpec = fault.Spec
+
+// ParseFaultSpec parses the textual fault grammar, e.g.
+// "seed=42; drop=0.2@100-500; jam=1.5,2,8; crash=3-8@50-300".
+// See internal/fault.Parse for the full clause reference.
+func ParseFaultSpec(s string) (FaultSpec, error) { return fault.Parse(s) }
 
 // Observer receives execution callbacks from a running task, on the
 // goroutine driving the Run. OnRound fires after every synchronous round
@@ -56,18 +103,87 @@ type runConfig struct {
 	maxRounds     int64
 	observer      Observer
 	noFastForward bool
+	faults        *fault.Spec
+	stallWindow   int64
+	err           error // first invalid option; Run fails fast on it
+}
+
+// fail records the first option error (later options still apply, but Run
+// refuses to start).
+func (c *runConfig) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("%w: %s", ErrBadOption, fmt.Sprintf(format, args...))
+	}
 }
 
 // WithMaxRounds imposes a hard, deterministic round budget: the execution
 // aborts with ErrRoundBudget before the round counter exceeds k. The
-// returned Result carries the partial statistics.
+// returned Result carries the partial statistics. k must be positive; zero
+// or negative budgets fail the Run with ErrBadOption instead of silently
+// meaning "unlimited".
 func WithMaxRounds(k int64) RunOption {
-	return func(c *runConfig) { c.maxRounds = k }
+	return func(c *runConfig) {
+		if k <= 0 {
+			c.fail("WithMaxRounds(%d): budget must be positive", k)
+			return
+		}
+		c.maxRounds = k
+	}
 }
 
 // WithObserver attaches per-round and per-phase callbacks to the execution.
+// A nil observer fails the Run with ErrBadOption (passing one is always a
+// caller bug — omit the option instead).
 func WithObserver(o Observer) RunOption {
-	return func(c *runConfig) { c.observer = o }
+	return func(c *runConfig) {
+		if o == nil {
+			c.fail("WithObserver(nil)")
+			return
+		}
+		c.observer = o
+	}
+}
+
+// WithFaults injects a deterministic fault scenario into the run: the
+// spec's engine-level faults (drops, noise spikes, jammers) decorate the
+// physical layer and its crash/sleep schedules gate node participation.
+// The spec is validated against the network before anything runs
+// (ErrBadOption on out-of-range nodes or parameters) and copied, so the
+// caller's value may be reused or mutated freely. Repeating the option
+// fails the Run — two specs cannot be merged meaningfully.
+//
+// Runs with a non-empty spec bypass the reception memoization layers
+// (outcomes become round-dependent), so they cost more than fault-free runs
+// of the same instance; an empty spec is exactly a fault-free run.
+func WithFaults(spec FaultSpec) RunOption {
+	s := spec.Clone() // snapshot now: the caller may mutate spec afterwards
+	return func(c *runConfig) {
+		if c.faults != nil {
+			c.fail("WithFaults repeated")
+			return
+		}
+		c.faults = &s
+	}
+}
+
+// WithStallDetector arms the stall watchdog: the run aborts with ErrStalled
+// (and partial Stats) after window consecutive rounds with no observable
+// progress — no delivery and no phase mark. The window is measured on the
+// round clock, so fast-forwarded silent stretches count against it (and
+// abort at exactly the round single-stepping would). window must be
+// positive, and sized well above the protocol's longest natural
+// progress-free stretch — the built-in schedules legitimately run long
+// delivery-free passes, so a small multiple of the instance's expected
+// total round count is the safe choice; the watchdog is a hang detector,
+// not a liveness profiler.
+func WithStallDetector(window int64) RunOption {
+	return func(c *runConfig) {
+		if window <= 0 {
+			c.fail("WithStallDetector(%d): window must be positive", window)
+			return
+		}
+		c.stallWindow = window
+	}
 }
 
 // WithFastForward toggles silent-round fast-forwarding (default on): the
@@ -139,10 +255,13 @@ func Clustering() Task {
 		if err != nil {
 			return err
 		}
-		if err := n.validateClustering(a.ClusterOf, a.Center, 1.0); err != nil {
-			return fmt.Errorf("dcluster: clustering failed validation: %w", err)
-		}
+		// Record the clustering before judging it: under fault injection an
+		// invalid assignment is an expected outcome, and callers inspect it
+		// through the Result that accompanies ErrInvariant.
 		res.Cluster = &ClusterResult{ClusterOf: a.ClusterOf, Center: a.Center}
+		if err := n.validateClustering(a.ClusterOf, a.Center, 1.0); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvariant, err)
+		}
 		return nil
 	}}
 }
@@ -261,9 +380,29 @@ func (n *Network) Run(ctx context.Context, task Task, opts ...RunOption) (*Resul
 	for _, o := range opts {
 		o(&rc)
 	}
+	if rc.err != nil {
+		return nil, rc.err
+	}
 	eng := n.acquireEngine()
 	defer n.releaseEngine(eng)
-	env, err := sim.NewEnv(eng, n.ids, n.idcap)
+	runEng := eng
+	var nodeFaults sim.NodeFaults
+	impure := false
+	if rc.faults != nil && !rc.faults.Empty() {
+		if err := rc.faults.Validate(n.Len(), true); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadOption, err)
+		}
+		// Reception becomes round-dependent, so the memo/replay layers
+		// must see every round as new physics.
+		impure = true
+		if rc.faults.EngineFaults() {
+			runEng = fault.Wrap(eng, rc.faults)
+		}
+		if rc.faults.HasNodeFaults() {
+			nodeFaults = rc.faults
+		}
+	}
+	env, err := sim.NewEnv(runEng, n.ids, n.idcap)
 	if err != nil {
 		return nil, err
 	}
@@ -272,6 +411,9 @@ func (n *Network) Run(ctx context.Context, task Task, opts ...RunOption) (*Resul
 		MaxRounds:          rc.maxRounds,
 		Observer:           rc.observer,
 		DisableFastForward: rc.noFastForward,
+		NodeFaults:         nodeFaults,
+		StallWindow:        rc.stallWindow,
+		ImpureReception:    impure,
 	})
 
 	res := &Result{Algorithm: task.Name()}
@@ -279,14 +421,6 @@ func (n *Network) Run(ctx context.Context, task Task, opts ...RunOption) (*Resul
 	res.Stats = statsOf(env)
 	for _, m := range env.Marks() {
 		res.Marks = append(res.Marks, PhaseMark{Label: m.Label, Round: m.Round})
-	}
-	if err != nil {
-		if aborted {
-			// Budget exhausted or context cancelled: hand back the partial
-			// statistics alongside the typed error.
-			return &Result{Algorithm: res.Algorithm, Stats: res.Stats, Marks: res.Marks}, err
-		}
-		return nil, err
 	}
 	// The sub-results describe the same execution; mirror the stats into
 	// them for the legacy accessors.
@@ -302,11 +436,24 @@ func (n *Network) Run(ctx context.Context, task Task, opts ...RunOption) (*Resul
 	case res.Leader != nil:
 		res.Leader.Stats = res.Stats
 	}
+	if err != nil {
+		if aborted || errors.Is(err, ErrInvariant) {
+			// Graceful degradation: budget exhausted, cancelled, stalled,
+			// recovered panic, or an invalid clustering — hand back whatever
+			// the execution produced alongside the typed error.
+			return res, err
+		}
+		return nil, err
+	}
 	return res, nil
 }
 
-// runGuarded runs fn, converting an execution-abort panic (round budget,
-// context cancellation) back into its error; any other panic propagates.
+// runGuarded runs fn, converting panics back into errors: a controlled
+// execution abort (round budget, cancellation at a round boundary, stall
+// watchdog) or a mid-round Deliver abort yields its typed error, and any
+// other panic — a buggy observer, an engine invariant violation — is
+// captured as ErrInternal with the panic value and stack instead of killing
+// the caller.
 func runGuarded(fn func() error) (err error, aborted bool) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -314,7 +461,11 @@ func runGuarded(fn func() error) (err error, aborted bool) {
 				err, aborted = e, true
 				return
 			}
-			panic(r)
+			if e := sinr.AbortError(r); e != nil {
+				err, aborted = e, true
+				return
+			}
+			err, aborted = fmt.Errorf("%w: %v\n%s", ErrInternal, r, debug.Stack()), true
 		}
 	}()
 	return fn(), false

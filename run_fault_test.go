@@ -1,0 +1,241 @@
+package dcluster
+
+// Run-layer fault and degradation tests: fail-fast option validation,
+// panic recovery, cancellation with partial results, the stall watchdog at
+// the public API, and the fault layer's determinism guarantees.
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRunOptionValidation(t *testing.T) {
+	net := runTestNet(t)
+	cases := map[string][]RunOption{
+		"zero budget":       {WithMaxRounds(0)},
+		"negative budget":   {WithMaxRounds(-5)},
+		"nil observer":      {WithObserver(nil)},
+		"zero stall window": {WithStallDetector(0)},
+		"repeated faults":   {WithFaults(FaultSpec{}), WithFaults(FaultSpec{})},
+	}
+	for name, opts := range cases {
+		res, err := net.Run(context.Background(), Clustering(), opts...)
+		if !errors.Is(err, ErrBadOption) {
+			t.Errorf("%s: err = %v, want ErrBadOption", name, err)
+		}
+		if res != nil {
+			t.Errorf("%s: got a result from a refused run", name)
+		}
+	}
+}
+
+func TestRunRejectsInvalidSpec(t *testing.T) {
+	net := runTestNet(t) // 40 nodes
+	for name, spec := range map[string]string{
+		"crash out of range": "crash=40",
+		"drop above one":     "drop=1.5",
+		"noise below one":    "noise=0.5",
+	} {
+		fs, err := ParseFaultSpec(spec)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		res, err := net.Run(context.Background(), Clustering(), WithFaults(fs))
+		if !errors.Is(err, ErrBadOption) {
+			t.Errorf("%s: err = %v, want ErrBadOption", name, err)
+		}
+		if res != nil {
+			t.Errorf("%s: got a result from a refused run", name)
+		}
+	}
+}
+
+func TestRunObserverPanicRecovered(t *testing.T) {
+	net := runTestNet(t)
+	rounds := 0
+	res, err := net.Run(context.Background(), Clustering(), WithObserver(ObserverFuncs{
+		Round: func(int64, int, int) {
+			rounds++
+			if rounds == 100 {
+				panic("observer exploded")
+			}
+		},
+	}))
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal", err)
+	}
+	if !strings.Contains(err.Error(), "observer exploded") {
+		t.Errorf("err %q does not carry the panic value", err)
+	}
+	if res == nil || res.Stats.Rounds == 0 {
+		t.Fatal("recovered panic must still return partial stats")
+	}
+}
+
+func TestRunExpiredContext(t *testing.T) {
+	net := runTestNet(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := net.Run(ctx, Clustering())
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancellation must return the partial result")
+	}
+	if res.Stats.Rounds != 0 {
+		t.Errorf("expired context ran %d rounds", res.Stats.Rounds)
+	}
+}
+
+func TestRunEmptySpecMatchesNoSpec(t *testing.T) {
+	net := runTestNet(t)
+	plain, err := net.Run(context.Background(), Clustering())
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := net.Run(context.Background(), Clustering(), WithFaults(FaultSpec{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, empty) {
+		t.Error("an empty fault spec must be exactly a fault-free run")
+	}
+}
+
+func TestRunFaultSpecCopied(t *testing.T) {
+	net := runTestNet(t)
+	spec, err := ParseFaultSpec("seed=3;drop=0.2@1-50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := net.Run(context.Background(), Clustering(), WithFaults(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the caller's spec after building the options must not change
+	// the run (WithFaults clones).
+	opts := []RunOption{WithFaults(spec)}
+	spec.Drops[0].P = 0.9
+	again, err := net.Run(context.Background(), Clustering(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, again) {
+		t.Error("Run observed a post-option mutation of the caller's FaultSpec")
+	}
+}
+
+func TestRunStallDetector(t *testing.T) {
+	// drop=1 silences the network completely: a wake-up from one spontaneous
+	// node can never spread, so the watchdog must fire at exactly its window
+	// (no delivery and no phase mark ever happens).
+	net := runTestNet(t)
+	spont := make([]int64, net.Len())
+	for i := range spont {
+		spont[i] = -1
+	}
+	spont[0] = 0
+	spec, err := ParseFaultSpec("drop=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const window = 50_000
+	res, err := net.Run(context.Background(), WakeUp(spont),
+		WithFaults(spec), WithStallDetector(window), WithMaxRounds(100*window))
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+	if res == nil {
+		t.Fatal("stall must return the partial result")
+	}
+	if res.Stats.Rounds != window {
+		t.Errorf("stalled at round %d, want exactly the window %d", res.Stats.Rounds, window)
+	}
+	if res.Stats.Deliveries != 0 {
+		t.Errorf("drop=1 run recorded %d deliveries", res.Stats.Deliveries)
+	}
+}
+
+func TestRunStallDetectorNoFalsePositive(t *testing.T) {
+	// A fault-free clustering with a watchdog sized above the instance's
+	// total round count must never trip.
+	net := runTestNet(t)
+	plain, err := net.Run(context.Background(), Clustering())
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded, err := net.Run(context.Background(), Clustering(),
+		WithStallDetector(10*plain.Stats.Rounds))
+	if err != nil {
+		t.Fatalf("watchdog false positive: %v", err)
+	}
+	if !reflect.DeepEqual(plain, guarded) {
+		t.Error("an untripped watchdog changed the result")
+	}
+}
+
+// TestRunFaultDeterminism is the fault layer's core guarantee at the public
+// API: the same (seed, spec) pair yields identical Results on repeated runs
+// and across the dense and sparse engines.
+func TestRunFaultDeterminism(t *testing.T) {
+	spec, err := ParseFaultSpec("seed=7;drop=0.25@1-400;noise=2@50-120;jam=0.5,0.5,6@200-320;sleep=3-6@30-90")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref *Result
+	for _, kind := range []EngineKind{EngineDense, EngineSparse} {
+		net := runTestNet(t, WithEngine(kind))
+		for rep := 0; rep < 2; rep++ {
+			res, err := net.Run(context.Background(), Clustering(), WithFaults(spec))
+			if err != nil && !errors.Is(err, ErrInvariant) {
+				t.Fatalf("%v rep %d: %v", kind, rep, err)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if !reflect.DeepEqual(res.Stats, ref.Stats) {
+				t.Fatalf("%v rep %d: stats diverged: %+v vs %+v", kind, rep, res.Stats, ref.Stats)
+			}
+			if !reflect.DeepEqual(res.Cluster.ClusterOf, ref.Cluster.ClusterOf) ||
+				!reflect.DeepEqual(res.Cluster.Center, ref.Cluster.Center) {
+				t.Fatalf("%v rep %d: clustering diverged", kind, rep)
+			}
+			if !reflect.DeepEqual(res.Marks, ref.Marks) {
+				t.Fatalf("%v rep %d: phase marks diverged", kind, rep)
+			}
+		}
+	}
+}
+
+func TestRunCrashDegrades(t *testing.T) {
+	// Crashing most of the network forever makes a valid full clustering
+	// impossible: the run must complete (or degrade) without a panic and
+	// surface the invalid assignment through ErrInvariant + Result.
+	net := runTestNet(t)
+	spec, err := ParseFaultSpec("crash=1-35")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := net.Run(context.Background(), Clustering(),
+		WithFaults(spec), WithMaxRounds(5_000_000))
+	if err == nil {
+		t.Fatal("clustering succeeded with 35 of 40 nodes down")
+	}
+	switch {
+	case errors.Is(err, ErrInvariant):
+		if res == nil || res.Cluster == nil {
+			t.Fatal("ErrInvariant must carry the degraded clustering")
+		}
+	case errors.Is(err, ErrRoundBudget):
+		if res == nil {
+			t.Fatal("budget abort must carry partial stats")
+		}
+	default:
+		t.Fatalf("unexpected failure mode: %v", err)
+	}
+}

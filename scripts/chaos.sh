@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# chaos.sh — run the deterministic chaos suite, or replay one scenario.
+#
+# Usage:
+#   scripts/chaos.sh
+#       Full sweep under the race detector: TestChaosSweep (committed
+#       seeds, 4 topologies x 2 engines x 4 fault intensities), the
+#       cross-engine fault-determinism test, and the stall-watchdog tests.
+#
+#   scripts/chaos.sh '<spec>' [topology [n [seed]]]
+#   CHAOS_SPEC='<spec>' [CHAOS_TOPOLOGY=..] [CHAOS_N=..] [CHAOS_SEED=..] scripts/chaos.sh
+#       Replay one scenario on both engines via TestChaosRepro — paste the
+#       spec (and instance parameters) of a failing sweep case to get a
+#       deterministic reproduction with the invariant checker's report.
+#
+# Every probabilistic choice is derived from the seeds in the spec and the
+# topology seed, so both modes are fully deterministic.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ $# -ge 1 ]; then
+    export CHAOS_SPEC="$1"
+    [ $# -ge 2 ] && export CHAOS_TOPOLOGY="$2"
+    [ $# -ge 3 ] && export CHAOS_N="$3"
+    [ $# -ge 4 ] && export CHAOS_SEED="$4"
+fi
+
+if [ -n "${CHAOS_SPEC:-}" ]; then
+    exec go test -race -count=1 -run '^TestChaosRepro$' -v .
+fi
+exec go test -race -count=1 -v \
+    -run '^(TestChaosSweep|TestRunFaultDeterminism|TestRunStallDetector|TestRunStallDetectorNoFalsePositive|TestRunCrashDegrades)$' .
