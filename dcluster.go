@@ -182,14 +182,16 @@ func WithIDs(ids []int, idBound int) Option {
 	}
 }
 
-// validateIDs checks the WithIDs assignment (length, range, uniqueness)
-// against the same validator every run's environment applies.
+// validateIDs checks the WithIDs assignment (length, range, uniqueness,
+// int32 representability — message wire format carries IDs as int32)
+// against the same validator every run's environment applies. Failures are
+// ErrBadOption-family: errors.Is(err, ErrBadOption) holds.
 func (n *Network) validateIDs() error {
 	if n.ids == nil {
 		return nil
 	}
 	if _, err := sim.ValidateIDs(n.ids, len(n.pts), n.idcap); err != nil {
-		return fmt.Errorf("dcluster: invalid WithIDs assignment: %w", err)
+		return fmt.Errorf("%w: invalid WithIDs assignment: %v", ErrBadOption, err)
 	}
 	return nil
 }

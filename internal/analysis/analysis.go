@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"dcluster/internal/flat"
 	"dcluster/internal/geom"
 )
 
@@ -223,31 +224,24 @@ func ValidateLabeling(clusterOf []int32, label []int32, c, maxLabel int) error {
 	return nil
 }
 
-// GraphSymmetric verifies an adjacency map is symmetric (H graphs must be).
-func GraphSymmetric(adj map[int][]int) error {
-	for u, ns := range adj {
-		for _, v := range ns {
-			found := false
-			for _, w := range adj[v] {
-				if w == u {
-					found = true
-					break
-				}
-			}
-			if !found {
-				return fmt.Errorf("analysis: edge %d→%d not reciprocated", u, v)
+// GraphSymmetric verifies a CSR adjacency is symmetric (H graphs must be).
+func GraphSymmetric(adj *flat.Adjacency) error {
+	for u := 0; u < adj.N(); u++ {
+		for _, v32 := range adj.Neighbors(u) {
+			if adj.EdgeIndex(int(v32), u) < 0 {
+				return fmt.Errorf("analysis: edge %d→%d not reciprocated", u, v32)
 			}
 		}
 	}
 	return nil
 }
 
-// MaxDegree returns the maximum degree in an adjacency map.
-func MaxDegree(adj map[int][]int) int {
+// MaxDegree returns the maximum degree in a CSR adjacency.
+func MaxDegree(adj *flat.Adjacency) int {
 	best := 0
-	for _, ns := range adj {
-		if len(ns) > best {
-			best = len(ns)
+	for v := 0; v < adj.N(); v++ {
+		if d := adj.Degree(v); d > best {
+			best = d
 		}
 	}
 	return best

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"dcluster/internal/flat"
 	"dcluster/internal/geom"
 )
 
@@ -130,17 +131,29 @@ func TestValidateLabeling(t *testing.T) {
 	}
 }
 
+// csr builds a small CSR adjacency from an edge list for the graph checks.
+func csr(n int, edges [][2]int) *flat.Adjacency {
+	var b flat.AdjacencyBuilder
+	b.Reset(n)
+	for _, e := range edges {
+		b.Add(e[0], e[1])
+	}
+	a := &flat.Adjacency{}
+	b.Build(a, false)
+	return a
+}
+
 func TestGraphSymmetric(t *testing.T) {
-	if err := GraphSymmetric(map[int][]int{0: {1}, 1: {0}}); err != nil {
+	if err := GraphSymmetric(csr(2, [][2]int{{0, 1}, {1, 0}})); err != nil {
 		t.Errorf("symmetric graph rejected: %v", err)
 	}
-	if err := GraphSymmetric(map[int][]int{0: {1}, 1: {}}); err == nil {
+	if err := GraphSymmetric(csr(2, [][2]int{{0, 1}})); err == nil {
 		t.Error("asymmetric edge not caught")
 	}
 }
 
 func TestMaxDegreeAdj(t *testing.T) {
-	if got := MaxDegree(map[int][]int{0: {1, 2}, 1: {0}, 2: {0}}); got != 2 {
+	if got := MaxDegree(csr(3, [][2]int{{0, 1}, {0, 2}, {1, 0}, {2, 0}})); got != 2 {
 		t.Errorf("MaxDegree = %d", got)
 	}
 }

@@ -82,7 +82,7 @@ func Global(env *sim.Env, in GlobalInput) (*GlobalResult, error) {
 		res.AwakeRound[i] = -1
 	}
 
-	sns, err := comm.NewSNS(in.Cfg, env.N)
+	sns, err := comm.SharedSNS(env, in.Cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -11,7 +11,6 @@ import (
 	"dcluster/internal/config"
 	"dcluster/internal/core"
 	"dcluster/internal/labeling"
-	"dcluster/internal/selectors"
 	"dcluster/internal/sim"
 	"dcluster/internal/sparsify"
 )
@@ -60,7 +59,7 @@ func Local(env *sim.Env, in LocalInput) (*LocalResult, error) {
 	}
 
 	env.MarkPhase("local-broadcast:sns-sweeps")
-	sns, err := comm.NewSNS(in.Cfg, env.N)
+	sns, err := comm.SharedSNS(env, in.Cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -80,7 +79,7 @@ func Local(env *sim.Env, in LocalInput) (*LocalResult, error) {
 // clustered FullSparsification (fresh forest) followed by the Lemma 11
 // tree labeling.
 func labelClustered(env *sim.Env, cfg config.Config, nodes []int, asg *core.Assignment, gamma int) ([]int32, error) {
-	wcss, err := selectors.NewWCSS(env.N, cfg.Kappa, cfg.Rho, cfg.WCSSFactor, cfg.Seed)
+	wcss, events, err := comm.SharedWCSS(env, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -94,6 +93,7 @@ func labelClustered(env *sim.Env, cfg config.Config, nodes []int, asg *core.Assi
 	levels, err := sparsify.Full(env, st, nodes, sparsify.Call{
 		Cfg:       cfg,
 		Sched:     wcss,
+		Events:    events,
 		ClusterOf: func(v int) int32 { return asg.ClusterOf[v] },
 		Clustered: true,
 		Gamma:     gamma,

@@ -286,29 +286,22 @@ func (es *EventScheduler) prepare(senders []int, ids, clusters []int) {
 		es.events = make([]int32, total)
 	}
 	es.events = es.events[:total]
+	es.active = es.active[:0]
+	es.ends = es.ends[:0]
 	off := int32(0)
 	for i, c := range es.counts {
 		es.counts[i] = 0 // leave the counting scratch clean for the next prepare
 		es.offs[i] = off
-		off += c
+		if c != 0 {
+			off += c
+			es.active = append(es.active, int32(i))
+			es.ends = append(es.ends, off)
+		}
 	}
 	for j := range senders {
 		for _, i := range sched[j] {
 			es.events[es.offs[i]] = int32(j)
 			es.offs[i]++
-		}
-	}
-	// Collapse the bucket table into the active-round event list: passes
-	// iterate events only, never the m-round index space.
-	es.active = es.active[:0]
-	es.ends = es.ends[:0]
-	lo := int32(0)
-	for i := 0; i < es.el.m; i++ {
-		hi := es.offs[i]
-		if hi != lo {
-			es.active = append(es.active, int32(i))
-			es.ends = append(es.ends, hi)
-			lo = hi
 		}
 	}
 	es.lastSenders = append(es.lastSenders[:0], senders...)

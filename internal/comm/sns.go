@@ -24,7 +24,9 @@ type SNS struct {
 	sel *selectors.SSF
 	ev  *EventScheduler
 
-	ids, clusters []int // per-pass sender snapshot (scratch)
+	ids, clusters []int                              // per-pass sender snapshot (scratch)
+	all           []sim.Delivery                     // per-pass delivery accumulator (scratch)
+	sink          func(round int, ds []sim.Delivery) // cached: a fresh closure per pass would allocate
 }
 
 // NewSNS builds the schedule for ID space [1..n] with the configured
@@ -38,6 +40,65 @@ func NewSNS(cfg config.Config, n int) (*SNS, error) {
 		return nil, fmt.Errorf("comm: building SNS: %w", err)
 	}
 	return &SNS{sel: sel, ev: NewEventScheduler(selectors.Lift(sel))}, nil
+}
+
+// snsCacheKey identifies an SNS within one execution: everything NewSNS
+// derives the schedule from.
+type snsCacheKey struct {
+	n, k   int
+	factor float64
+	seed   uint64
+}
+
+// SharedSNS returns the execution-scoped SNS for (cfg, env.N), building it
+// on first use. Callers that run one phase at a time (radius reductions,
+// broadcast stages) share the instance — and with it the schedule lists and
+// pass captures its event scheduler accumulates — instead of re-deriving
+// them per call.
+func SharedSNS(env *sim.Env, cfg config.Config) (*SNS, error) {
+	key := snsCacheKey{n: env.N, k: cfg.SNSK, factor: cfg.SSFFactor, seed: cfg.Seed}
+	if v, ok := env.CacheGet(key); ok {
+		return v.(*SNS), nil
+	}
+	s, err := NewSNS(cfg, env.N)
+	if err != nil {
+		return nil, err
+	}
+	env.CachePut(key, s)
+	return s, nil
+}
+
+// wcssCacheKey identifies a WCSS family and its schedule-list cache within
+// one execution.
+type wcssCacheKey struct {
+	n, k, l int
+	factor  float64
+	seed    uint64
+}
+
+type wcssCacheEntry struct {
+	sel    *selectors.WCSS
+	events *EventLists
+}
+
+// SharedWCSS returns the execution-scoped WCSS family for (cfg, env.N) and
+// a schedule-list cache over it, building both on first use. Sharing the
+// cache across the radius reductions and labeling sparsifications of one
+// execution lets every consumer reuse the per-node scheduled-round lists the
+// earlier ones derived.
+func SharedWCSS(env *sim.Env, cfg config.Config) (*selectors.WCSS, *EventLists, error) {
+	key := wcssCacheKey{n: env.N, k: cfg.Kappa, l: cfg.Rho, factor: cfg.WCSSFactor, seed: cfg.Seed}
+	if v, ok := env.CacheGet(key); ok {
+		e := v.(wcssCacheEntry)
+		return e.sel, e.events, nil
+	}
+	sel, err := selectors.NewWCSS(env.N, cfg.Kappa, cfg.Rho, cfg.WCSSFactor, cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	e := wcssCacheEntry{sel: sel, events: NewEventLists(sel)}
+	env.CachePut(key, e)
+	return e.sel, e.events, nil
 }
 
 // Len returns the schedule length.
@@ -59,10 +120,13 @@ func (s *SNS) Run(env *sim.Env, active []int, msgOf func(node int) sim.Msg, list
 		s.ids = append(s.ids, env.IDs[v])
 		s.clusters = append(s.clusters, 1)
 	}
-	all := env.PassBuf()
-	s.ev.Pass(env, active, s.ids, s.clusters, msgOf, listeners, func(_ int, ds []sim.Delivery) {
-		all = append(all, ds...)
-	})
+	if s.sink == nil {
+		s.sink = func(_ int, ds []sim.Delivery) { s.all = append(s.all, ds...) }
+	}
+	s.all = env.PassBuf()
+	s.ev.Pass(env, active, s.ids, s.clusters, msgOf, listeners, s.sink)
+	all := s.all
+	s.all = nil
 	env.SetPassBuf(all)
 	return all
 }

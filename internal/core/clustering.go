@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"dcluster/internal/analysis"
 	"dcluster/internal/config"
+	"dcluster/internal/flat"
 	"dcluster/internal/selectors"
 	"dcluster/internal/sim"
 	"dcluster/internal/sparsify"
@@ -137,22 +139,27 @@ func Cluster(env *sim.Env, in ClusterInput) (*Assignment, error) {
 func inheritClusters(env *sim.Env, st *sparsify.State, b sparsify.Batch, out *Assignment) {
 	// Senders: every schedule member that currently has a cluster (the
 	// parents of this batch are among them; extra clustered members only
-	// lower interference relative to construction time).
-	var senders []int
-	for v := 0; v < env.F.N(); v++ {
-		if b.Sched.Member(v) && out.ClusterOf[v] != analysis.Unassigned {
-			senders = append(senders, v)
+	// lower interference relative to construction time). The schedule
+	// snapshot is ascending by node index, so the sender order matches the
+	// old full 0..n membership scan.
+	sc := ihPool.Get().(*ihScratch)
+	defer ihPool.Put(sc)
+	sc.senders = sc.senders[:0]
+	for _, v32 := range b.Sched.Members() {
+		v := int(v32)
+		if out.ClusterOf[v] != analysis.Unassigned {
+			sc.senders = append(sc.senders, v)
 		}
 	}
 	msg := func(v int) sim.Msg {
 		return sim.Msg{Kind: sim.KindClusterID, From: int32(env.IDs[v]), Cluster: out.ClusterOf[v]}
 	}
-	childSet := make(map[int]bool, len(b.Children))
+	sc.childSet.Reset(env.F.N())
 	for _, c := range b.Children {
-		childSet[c] = true
+		sc.childSet.Set(c)
 	}
-	for _, d := range b.Sched.Run(env, senders, msg, b.Children) {
-		if d.Msg.Kind != sim.KindClusterID || !childSet[d.Receiver] {
+	for _, d := range b.Sched.Run(env, sc.senders, msg, b.Children) {
+		if d.Msg.Kind != sim.KindClusterID || !sc.childSet.Has(d.Receiver) {
 			continue
 		}
 		if out.ClusterOf[d.Receiver] != analysis.Unassigned {
@@ -164,6 +171,14 @@ func inheritClusters(env *sim.Env, st *sparsify.State, b sparsify.Batch, out *As
 		out.ClusterOf[d.Receiver] = d.Msg.Cluster
 	}
 }
+
+// ihScratch is the pooled working state of one inheritClusters replay.
+type ihScratch struct {
+	senders  []int
+	childSet flat.BoolStamp
+}
+
+var ihPool = sync.Pool{New: func() any { return new(ihScratch) }}
 
 // adopt copies the reduced assignment for the given nodes into dst and
 // rebuilds the centre map.

@@ -9,10 +9,12 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"dcluster/internal/analysis"
 	"dcluster/internal/comm"
 	"dcluster/internal/config"
+	"dcluster/internal/flat"
 	"dcluster/internal/mis"
 	"dcluster/internal/selectors"
 	"dcluster/internal/sim"
@@ -59,16 +61,15 @@ func ReduceRadius(env *sim.Env, in ReduceInput) (*Assignment, error) {
 	cfg := in.Cfg
 	out := NewAssignment(env.F.N())
 
-	wcss, err := selectors.NewWCSS(env.N, cfg.Kappa, cfg.Rho, cfg.WCSSFactor, cfg.Seed)
+	// Execution-scoped selector family, schedule cache and SNS: the wcss
+	// (and most of the surviving nodes) persist across iterations — and
+	// across the successive reductions of phase B and the broadcast stages —
+	// so the per-node schedule lists are derived once per execution.
+	wcss, events, err := comm.SharedWCSS(env, cfg)
 	if err != nil {
 		return nil, err
 	}
-	// One schedule cache for the whole reduction: each iteration builds a
-	// fresh sparsification State, but the wcss (and most of the surviving
-	// nodes) persist, so sharing the per-node schedule lists across
-	// iterations avoids re-deriving them.
-	events := comm.NewEventLists(wcss)
-	sns, err := comm.NewSNS(cfg, env.N)
+	sns, err := comm.SharedSNS(env, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -78,6 +79,9 @@ func ReduceRadius(env *sim.Env, in ReduceInput) (*Assignment, error) {
 	// the input r-clustering; nodes keep it until re-assigned.
 	work := append([]int32(nil), in.Current.ClusterOf...)
 
+	sc := rrPool.Get().(*rrScratch)
+	defer rrPool.Put(sc)
+
 	var emptyIterRounds int64 = -1
 	for it := 0; it < cfg.RadiusReductionIters; it++ {
 		if len(x) == 0 && cfg.EarlyStop && emptyIterRounds >= 0 {
@@ -85,8 +89,7 @@ func ReduceRadius(env *sim.Env, in ReduceInput) (*Assignment, error) {
 			break
 		}
 		start := env.Rounds()
-		assigned, err := reduceIteration(env, cfg, wcss, events, sns, x, work, out, in.Gamma)
-		if err != nil {
+		if err := reduceIteration(env, cfg, wcss, events, sns, x, work, out, in.Gamma, sc); err != nil {
 			return nil, err
 		}
 		if len(x) == 0 {
@@ -95,7 +98,7 @@ func ReduceRadius(env *sim.Env, in ReduceInput) (*Assignment, error) {
 		}
 		next := x[:0]
 		for _, v := range x {
-			if !assigned[v] {
+			if !sc.assigned.Has(v) {
 				next = append(next, v)
 			}
 		}
@@ -110,9 +113,29 @@ func ReduceRadius(env *sim.Env, in ReduceInput) (*Assignment, error) {
 	return out, nil
 }
 
+// rrScratch is the pooled working state of one RadiusReduction run: the
+// per-iteration heard/adjacency structures and membership sets, flattened to
+// generation-stamped slices and CSR builders.
+type rrScratch struct {
+	member   flat.BoolStamp // SNS-pass membership filter
+	heardB   flat.AdjacencyBuilder
+	heard    flat.Adjacency  // hello-pass heard sets, delivery order
+	listS    flat.Int32Stamp // node -> precomputed heard-ID list span
+	listE    flat.Int32Stamp
+	listIDs  []int32 // concatenated ID-sorted capped heard lists
+	sortBuf  []int32 // heard-list sorting scratch
+	adjB     flat.AdjacencyBuilder
+	adj      flat.Adjacency // mutual-exchange graph G
+	assigned flat.BoolStamp // nodes assigned this iteration
+	inX      flat.BoolStamp // membership in the remaining set x
+	d        []int          // MIS members, ascending node index
+}
+
+var rrPool = sync.Pool{New: func() any { return new(rrScratch) }}
+
 // reduceIteration performs one pass of the Alg. 5 main loop over the
-// remaining set x, writing assignments into out. Returns the set of nodes
-// assigned this iteration.
+// remaining set x, writing assignments into out. The nodes assigned this
+// iteration are reported in sc.assigned.
 func reduceIteration(
 	env *sim.Env,
 	cfg config.Config,
@@ -123,8 +146,9 @@ func reduceIteration(
 	work []int32,
 	out *Assignment,
 	gamma int,
-) (map[int]bool, error) {
-	assigned := map[int]bool{}
+	sc *rrScratch,
+) error {
+	sc.assigned.Reset(env.F.N())
 	st := sparsify.NewState(env.F.N())
 	if gamma > len(x) {
 		gamma = len(x)
@@ -141,21 +165,21 @@ func reduceIteration(
 		Events:    events,
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	xk := levels.Final()
 
 	// Sparse Network Schedule on X_k: hello pass, then heard-list pass, to
 	// learn the mutual-exchange graph G (Alg. 5 line 5).
-	heard := runHello(env, sns, xk)
-	adj := mutualAdjacency(env, sns, xk, heard)
+	runHello(env, sns, xk, sc)
+	mutualAdjacency(env, sns, xk, sc)
 
 	// D ← MIS(G), simulated over SNS executions (Alg. 5 line 6). Isolated
 	// nodes of X_k join D trivially (they heard nobody within 1−ε).
 	exchange := func(msgOf func(int) sim.Msg) []sim.Delivery {
 		return sns.Run(env, xk, msgOf, xk)
 	}
-	res := mis.Compute(xk, func(v int) int { return env.IDs[v] }, adj, exchange, mis.Options{
+	res := mis.Compute(xk, func(v int) int { return env.IDs[v] }, &sc.adj, exchange, mis.Options{
 		IDBound: env.N,
 		Factor:  cfg.MISColorFactor,
 		Seed:    cfg.Seed,
@@ -165,111 +189,120 @@ func reduceIteration(
 	// Local broadcast from D (Alg. 5 line 7): members announce themselves
 	// as new cluster centres; every remaining node within range joins the
 	// first centre it hears (line 10).
-	var d []int
-	for v := range res.InMIS {
-		d = append(d, v)
+	sc.d = sc.d[:0]
+	for _, v := range xk {
+		if res.InMIS[v] {
+			sc.d = append(sc.d, v)
+		}
 	}
-	sort.Ints(d)
-	for _, c := range d {
+	sort.Ints(sc.d)
+	for _, c := range sc.d {
 		id := int32(env.IDs[c])
 		out.ClusterOf[c] = id
 		out.Center[id] = c
 		work[c] = id
-		assigned[c] = true
+		sc.assigned.Set(c)
 	}
 	centreMsg := func(v int) sim.Msg {
 		return sim.Msg{Kind: sim.KindClusterID, From: int32(env.IDs[v]), Cluster: int32(env.IDs[v])}
 	}
-	inX := make(map[int]bool, len(x))
+	sc.inX.Reset(env.F.N())
 	for _, v := range x {
-		inX[v] = true
+		sc.inX.Set(v)
 	}
-	for _, del := range sns.Run(env, d, centreMsg, x) {
+	for _, del := range sns.Run(env, sc.d, centreMsg, x) {
 		u := del.Receiver
-		if del.Msg.Kind != sim.KindClusterID || assigned[u] || !inX[u] {
+		if del.Msg.Kind != sim.KindClusterID || sc.assigned.Has(u) || !sc.inX.Has(u) {
 			continue
 		}
 		out.ClusterOf[u] = del.Msg.Cluster
 		work[u] = del.Msg.Cluster
-		assigned[u] = true
+		sc.assigned.Set(u)
 	}
-	return assigned, nil
+	return nil
 }
 
-// runHello runs one SNS pass where every node announces its ID; returns the
-// per-node heard sets.
-func runHello(env *sim.Env, sns *comm.SNS, nodes []int) map[int][]int {
-	heard := map[int][]int{}
+// runHello runs one SNS pass where every node announces its ID; fills
+// sc.heard with the per-node heard sets (first-occurrence delivery order,
+// exactly the old append-unique lists) and sc.member with the node set.
+func runHello(env *sim.Env, sns *comm.SNS, nodes []int, sc *rrScratch) {
+	n := env.F.N()
 	hello := func(v int) sim.Msg {
 		return sim.Msg{Kind: sim.KindHello, From: int32(env.IDs[v])}
 	}
-	member := map[int]bool{}
+	sc.member.Reset(n)
 	for _, v := range nodes {
-		member[v] = true
+		sc.member.Set(v)
 	}
+	sc.heardB.Reset(n)
 	for _, d := range sns.Run(env, nodes, hello, nodes) {
-		if d.Msg.Kind == sim.KindHello && member[d.Receiver] && member[d.Sender] {
-			if !containsInt(heard[d.Receiver], d.Sender) {
-				heard[d.Receiver] = append(heard[d.Receiver], d.Sender)
-			}
+		if d.Msg.Kind == sim.KindHello && sc.member.Has(d.Receiver) && sc.member.Has(d.Sender) {
+			sc.heardB.Add(d.Receiver, d.Sender)
 		}
 	}
-	return heard
+	sc.heardB.Build(&sc.heard, true)
 }
 
 // mutualAdjacency runs the confirmation SNS pass: every node broadcasts the
 // list of IDs it heard (constant density ⇒ constant list, capped at
-// sim.MaxList deterministically by ID); edges are mutual exchanges.
-func mutualAdjacency(env *sim.Env, sns *comm.SNS, nodes []int, heard map[int][]int) map[int][]int {
-	lists := func(v int) sim.Msg {
-		hs := append([]int(nil), heard[v]...)
-		sort.Slice(hs, func(i, j int) bool { return env.IDs[hs[i]] < env.IDs[hs[j]] })
+// sim.MaxList deterministically by ID); edges are mutual exchanges, built
+// into sc.adj. The per-node ID lists are precomputed once (ID-sorted,
+// capped) instead of being re-sorted and re-allocated on every scheduled
+// transmission; the shared backing array is read-only downstream.
+func mutualAdjacency(env *sim.Env, sns *comm.SNS, nodes []int, sc *rrScratch) {
+	n := env.F.N()
+	sc.listS.Reset(n)
+	sc.listE.Reset(n)
+	sc.listIDs = sc.listIDs[:0]
+	for _, v := range nodes {
+		hs := append(sc.sortBuf[:0], sc.heard.Neighbors(v)...)
+		// Insertion sort by protocol ID (constant-density lists).
+		for i := 1; i < len(hs); i++ {
+			h := hs[i]
+			j := i - 1
+			for j >= 0 && env.IDs[hs[j]] > env.IDs[h] {
+				hs[j+1] = hs[j]
+				j--
+			}
+			hs[j+1] = h
+		}
+		sc.sortBuf = hs
 		if len(hs) > sim.MaxList {
 			hs = hs[:sim.MaxList]
 		}
-		m := sim.Msg{Kind: sim.KindHeard, From: int32(env.IDs[v])}
+		sc.listS.Set(v, int32(len(sc.listIDs)))
 		for _, h := range hs {
-			m.List = append(m.List, int32(env.IDs[h]))
+			sc.listIDs = append(sc.listIDs, int32(env.IDs[h]))
+		}
+		sc.listE.Set(v, int32(len(sc.listIDs)))
+	}
+	lists := func(v int) sim.Msg {
+		m := sim.Msg{Kind: sim.KindHeard, From: int32(env.IDs[v])}
+		lo, ok := sc.listS.Get(v)
+		if !ok {
+			return m
+		}
+		hi, _ := sc.listE.Get(v)
+		if hi > lo {
+			m.List = sc.listIDs[lo:hi]
 		}
 		return m
 	}
-	adj := map[int][]int{}
-	member := map[int]bool{}
-	for _, v := range nodes {
-		member[v] = true
-	}
+	sc.adjB.Reset(n)
 	for _, d := range sns.Run(env, nodes, lists, nodes) {
-		if d.Msg.Kind != sim.KindHeard || !member[d.Receiver] || !member[d.Sender] {
+		if d.Msg.Kind != sim.KindHeard || !sc.member.Has(d.Receiver) || !sc.member.Has(d.Sender) {
 			continue
 		}
 		u, v := d.Receiver, d.Sender
-		if !containsInt(heard[u], v) {
+		if sc.heard.EdgeIndex(u, v) < 0 {
 			continue
 		}
 		for _, idU := range d.Msg.List {
 			if int(idU) == env.IDs[u] {
-				adj[u] = appendUnique(adj[u], v)
-				adj[v] = appendUnique(adj[v], u)
+				sc.adjB.Add(u, v)
+				sc.adjB.Add(v, u)
 			}
 		}
 	}
-	return adj
-}
-
-func inSlice(xs []int, v int) bool {
-	for _, x := range xs {
-		if x == v {
-			return true
-		}
-	}
-	return false
-}
-
-func containsInt(xs []int, v int) bool { return inSlice(xs, v) }
-
-func appendUnique(xs []int, v int) []int {
-	if inSlice(xs, v) {
-		return xs
-	}
-	return append(xs, v)
+	sc.adjB.Build(&sc.adj, true)
 }

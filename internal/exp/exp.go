@@ -17,6 +17,7 @@ import (
 	"dcluster/internal/baselines"
 	"dcluster/internal/config"
 	"dcluster/internal/core"
+	"dcluster/internal/flat"
 	"dcluster/internal/geom"
 	"dcluster/internal/selectors"
 	"dcluster/internal/sim"
@@ -281,10 +282,7 @@ func Fig2(size Size, engine Engine) (string, error) {
 			covered++
 		}
 	}
-	edges := 0
-	for _, ns := range g.Adj {
-		edges += len(ns)
-	}
+	edges := g.Adj.NumEdges()
 	var b strings.Builder
 	fmt.Fprintf(&b, "E4 / Figure 2 — proximity graph construction (n=%d, ∆=%d)\n\n", n, gamma)
 	fmt.Fprintf(&b, "close pairs (Def. 1): %d\n", len(pairs))
@@ -427,13 +425,8 @@ func sparsifySeries(pts []geom.Point, cl []int32, clustered bool, iters int, eng
 	return series, nil
 }
 
-func hasEdge(adj map[int][]int, u, v int) bool {
-	for _, w := range adj[u] {
-		if w == v {
-			return true
-		}
-	}
-	return false
+func hasEdge(adj *flat.Adjacency, u, v int) bool {
+	return adj.EdgeIndex(u, v) >= 0
 }
 
 // ClusteringCost compares measured Clustering rounds against the Theorem 1

@@ -1,0 +1,192 @@
+// Package flat provides the slice-indexed per-node data structures the
+// algorithm layer runs on: CSR adjacency over dense node indices, a
+// counting-sort builder for it, and generation-stamped sets/maps that reset
+// in O(1) instead of reallocating. Node handles are dense indices into
+// env-sized arrays; every ordering is explicit (ID- or index-sorted), never
+// inherited from map iteration.
+package flat
+
+// Adjacency is a compressed-sparse-row adjacency structure over n nodes:
+// the neighbours of node v are Nbr[Off[v]:Off[v+1]]. The per-node order is
+// whatever the builder was fed (the algorithm layer feeds ID-sorted lists).
+type Adjacency struct {
+	Off []int32 // len n+1, monotone
+	Nbr []int32 // concatenated neighbour lists (node indices)
+}
+
+// N returns the number of nodes the structure is indexed by.
+func (a *Adjacency) N() int { return len(a.Off) - 1 }
+
+// Degree returns the number of neighbours of v.
+func (a *Adjacency) Degree(v int) int { return int(a.Off[v+1] - a.Off[v]) }
+
+// Neighbors returns v's neighbour list (shared backing array, read-only).
+func (a *Adjacency) Neighbors(v int) []int32 { return a.Nbr[a.Off[v]:a.Off[v+1]] }
+
+// NumEdges returns the total number of stored (directed) edges.
+func (a *Adjacency) NumEdges() int { return len(a.Nbr) }
+
+// EdgeIndex returns the position of u in v's neighbour list (an index into
+// the edge-aligned arrays callers keep parallel to Nbr), or -1. Linear scan:
+// the algorithm layer's degrees are bounded by κ.
+func (a *Adjacency) EdgeIndex(v, u int) int {
+	lo := a.Off[v]
+	for i, w := range a.Nbr[lo:a.Off[v+1]] {
+		if int(w) == u {
+			return int(lo) + i
+		}
+	}
+	return -1
+}
+
+// AdjacencyBuilder accumulates (v, u) edges in arbitrary v order and builds
+// a CSR Adjacency with a stable counting sort, so each node's neighbour
+// list keeps its insertion order. The builder and the built Adjacency are
+// reusable scratch: Build overwrites the destination in place.
+type AdjacencyBuilder struct {
+	n        int
+	src, dst []int32
+	count    []int32 // per-node counters (scratch, len n+1)
+}
+
+// Reset prepares the builder for a graph over n nodes, dropping any
+// accumulated edges but keeping capacity.
+func (b *AdjacencyBuilder) Reset(n int) {
+	b.n = n
+	b.src = b.src[:0]
+	b.dst = b.dst[:0]
+	if cap(b.count) < n+1 {
+		b.count = make([]int32, n+1)
+	}
+}
+
+// Add records the directed edge v → u.
+func (b *AdjacencyBuilder) Add(v, u int) {
+	b.src = append(b.src, int32(v))
+	b.dst = append(b.dst, int32(u))
+}
+
+// Len returns the number of edges accumulated so far.
+func (b *AdjacencyBuilder) Len() int { return len(b.src) }
+
+// Build assembles the CSR structure into out (resizing its slices as
+// needed). With dedupe set, repeated (v, u) pairs keep only the first
+// occurrence — still in insertion order.
+func (b *AdjacencyBuilder) Build(out *Adjacency, dedupe bool) {
+	n := b.n
+	if cap(out.Off) < n+1 {
+		out.Off = make([]int32, n+1)
+	}
+	out.Off = out.Off[:n+1]
+	count := b.count[:n+1]
+	for i := range count {
+		count[i] = 0
+	}
+	for _, v := range b.src {
+		count[v]++
+	}
+	off := out.Off
+	off[0] = 0
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + count[v]
+	}
+	m := len(b.src)
+	if cap(out.Nbr) < m {
+		out.Nbr = make([]int32, m)
+	}
+	out.Nbr = out.Nbr[:m]
+	// Stable scatter: count[v] walks v's output cursor.
+	for v := 0; v < n; v++ {
+		count[v] = off[v]
+	}
+	for i, v := range b.src {
+		out.Nbr[count[v]] = b.dst[i]
+		count[v]++
+	}
+	if !dedupe {
+		return
+	}
+	// First-occurrence dedupe within each (already grouped) node list.
+	w := int32(0)
+	for v := 0; v < n; v++ {
+		lo, hi := off[v], off[v+1]
+		off[v] = w
+		for i := lo; i < hi; i++ {
+			u := out.Nbr[i]
+			seen := false
+			for j := off[v]; j < w; j++ {
+				if out.Nbr[j] == u {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				out.Nbr[w] = u
+				w++
+			}
+		}
+	}
+	off[n] = w
+	out.Nbr = out.Nbr[:w]
+}
+
+// BoolStamp is a generation-stamped boolean set over dense indices: Reset
+// is O(1) (a generation bump), membership is one slice access. The zero
+// value is ready to use.
+type BoolStamp struct {
+	stamp []int64
+	gen   int64
+}
+
+// Reset clears the set and (re)sizes it for n indices.
+func (s *BoolStamp) Reset(n int) {
+	if cap(s.stamp) < n {
+		s.stamp = make([]int64, n)
+		s.gen = 0
+	}
+	s.stamp = s.stamp[:n]
+	s.gen++
+}
+
+// Set adds i to the set.
+func (s *BoolStamp) Set(i int) { s.stamp[i] = s.gen }
+
+// Unset removes i from the set.
+func (s *BoolStamp) Unset(i int) { s.stamp[i] = 0 }
+
+// Has reports membership of i.
+func (s *BoolStamp) Has(i int) bool { return s.stamp[i] == s.gen }
+
+// Int32Stamp is a generation-stamped map from dense indices to int32
+// values with O(1) reset. The zero value is ready to use.
+type Int32Stamp struct {
+	val   []int32
+	stamp []int64
+	gen   int64
+}
+
+// Reset clears the map and (re)sizes it for n indices.
+func (s *Int32Stamp) Reset(n int) {
+	if cap(s.stamp) < n {
+		s.stamp = make([]int64, n)
+		s.val = make([]int32, n)
+		s.gen = 0
+	}
+	s.stamp = s.stamp[:n]
+	s.val = s.val[:n]
+	s.gen++
+}
+
+// Set maps i to v.
+func (s *Int32Stamp) Set(i int, v int32) {
+	s.val[i] = v
+	s.stamp[i] = s.gen
+}
+
+// Get returns the value mapped to i and whether one is set.
+func (s *Int32Stamp) Get(i int) (int32, bool) {
+	if s.stamp[i] != s.gen {
+		return 0, false
+	}
+	return s.val[i], true
+}

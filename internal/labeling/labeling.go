@@ -13,8 +13,9 @@ package labeling
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 
+	"dcluster/internal/flat"
 	"dcluster/internal/sim"
 	"dcluster/internal/sparsify"
 )
@@ -27,6 +28,28 @@ type Result struct {
 	// Label[node] ∈ [1..Γ] for every participant, Unlabeled otherwise.
 	Label []int32
 }
+
+// lbScratch is the pooled working state of one labeling run: the per-batch
+// owner grouping and the per-child label ranges, node-indexed with
+// generation stamps so each batch resets in O(1).
+type lbScratch struct {
+	ownerIdx flat.Int32Stamp // parent node → index into owners
+	owners   []int           // parents owning children in this batch, ascending
+	kids     [][]int         // kids[i]: owners[i]'s batch children, ID-sorted
+	kidCount []int32
+	senders  []int
+	refs     []sparsify.ChildRef // ID-sorted copy of one parent's child list
+
+	// Per-child assigned subrange, computed once per batch instead of once
+	// per transmitted message (a parent re-composes its message every
+	// scheduled round of a pass, and previously re-sorted its full child
+	// list inside each composition).
+	start, end flat.Int32Stamp
+
+	rank int // current child rank, read by the message closure
+}
+
+var lbPool = sync.Pool{New: func() any { return new(lbScratch) }}
 
 // Run performs the top-down labeling over the forest recorded in st by a
 // FullSparsification whose levels are given. Every node of levels.Levels[0]
@@ -42,51 +65,89 @@ func Run(env *sim.Env, st *sparsify.State, levels *sparsify.FullLevels) (*Result
 		rangeEnd[r] = st.SubtreeSize[r]
 	}
 
+	sc := lbPool.Get().(*lbScratch)
+	defer lbPool.Put(sc)
+
 	// Replay batches newest-first: parents are always labelled before any
 	// batch containing their children is processed (children are removed
 	// strictly before their parent, so the parent's own label arrives in a
 	// strictly later batch — or it is a root).
 	for bi := len(st.Batches) - 1; bi >= 0; bi-- {
 		b := st.Batches[bi]
-		// Parents owning children in this batch, with those children in
-		// deterministic order.
-		owners := map[int][]int{}
+		// Group the batch's children by owning parent: owners ascending by
+		// node index, each owner's children ID-sorted — the same per-owner
+		// lists and global sender order the map-keyed grouping produced.
+		sc.ownerIdx.Reset(n)
+		sc.owners = sc.owners[:0]
 		for _, c := range b.Children {
 			p := st.Parent[c]
 			if p < 0 {
 				return nil, fmt.Errorf("labeling: batch child %d has no parent", c)
 			}
-			owners[p] = append(owners[p], c)
+			if _, ok := sc.ownerIdx.Get(p); !ok {
+				sc.ownerIdx.Set(p, 0)
+				sc.owners = append(sc.owners, p)
+			}
+		}
+		insertionSortInts(sc.owners)
+		for i, p := range sc.owners {
+			sc.ownerIdx.Set(p, int32(i))
+			if len(sc.kids) <= i {
+				sc.kids = append(sc.kids, nil)
+			}
+			sc.kids[i] = sc.kids[i][:0]
 		}
 		maxFan := 0
-		for p, cs := range owners {
-			sort.Slice(cs, func(i, j int) bool { return env.IDs[cs[i]] < env.IDs[cs[j]] })
-			owners[p] = cs
-			if len(cs) > maxFan {
-				maxFan = len(cs)
+		for _, c := range b.Children {
+			i, _ := sc.ownerIdx.Get(st.Parent[c])
+			sc.kids[i] = append(sc.kids[i], c)
+			if len(sc.kids[i]) > maxFan {
+				maxFan = len(sc.kids[i])
+			}
+		}
+
+		// Per-owner: ID-sort the batch children and precompute every child's
+		// label subrange. A parent keeps its own start, then hands children
+		// consecutive blocks of their subtree sizes in ID order over its
+		// full recorded child list (children removed in other batches
+		// occupy their blocks too, so the walk covers all of them).
+		sc.start.Reset(n)
+		sc.end.Reset(n)
+		for i, p := range sc.owners {
+			kids := sc.kids[i]
+			insertionSortByID(env, kids)
+			sc.refs = append(sc.refs[:0], st.Children[p]...)
+			insertionSortRefsByID(env, sc.refs)
+			off := int(label[p]) + 1
+			for _, r := range sc.refs {
+				sc.start.Set(r.Node, int32(off))
+				sc.end.Set(r.Node, int32(off+r.Size-1))
+				off += r.Size
+			}
+		}
+
+		msg := func(p int) sim.Msg {
+			i, _ := sc.ownerIdx.Get(p)
+			child := sc.kids[i][sc.rank]
+			s, _ := sc.start.Get(child)
+			e, _ := sc.end.Get(child)
+			return sim.Msg{
+				Kind: sim.KindLabelRange,
+				From: int32(env.IDs[p]),
+				A:    int32(env.IDs[child]),
+				B:    s,
+				C:    e,
 			}
 		}
 		for rank := 0; rank < maxFan; rank++ {
-			senders := make([]int, 0, len(owners))
-			for p, cs := range owners {
-				if rank < len(cs) {
-					senders = append(senders, p)
+			sc.rank = rank
+			sc.senders = sc.senders[:0]
+			for i, p := range sc.owners {
+				if rank < len(sc.kids[i]) {
+					sc.senders = append(sc.senders, p)
 				}
 			}
-			sort.Ints(senders)
-			msg := func(p int) sim.Msg {
-				cs := owners[p]
-				child := cs[rank]
-				start, end := childRange(st, env, p, int(label[p]), child)
-				return sim.Msg{
-					Kind: sim.KindLabelRange,
-					From: int32(env.IDs[p]),
-					A:    int32(env.IDs[child]),
-					B:    int32(start),
-					C:    int32(end),
-				}
-			}
-			for _, d := range b.Sched.Run(env, senders, msg, b.Children) {
+			for _, d := range b.Sched.Run(env, sc.senders, msg, b.Children) {
 				if d.Msg.Kind != sim.KindLabelRange {
 					continue
 				}
@@ -113,19 +174,26 @@ func Run(env *sim.Env, st *sparsify.State, levels *sparsify.FullLevels) (*Result
 	return &Result{Label: label}, nil
 }
 
-// childRange computes the subrange a parent assigns to one child: the
-// parent keeps its own start a, then hands children consecutive blocks of
-// their subtree sizes, in the parent's deterministic child order.
-func childRange(st *sparsify.State, env *sim.Env, p, parentStart int, child int) (start, end int) {
-	// Deterministic global child order: by ID (parents sort identically).
-	refs := append([]sparsify.ChildRef(nil), st.Children[p]...)
-	sort.Slice(refs, func(i, j int) bool { return env.IDs[refs[i].Node] < env.IDs[refs[j].Node] })
-	off := parentStart + 1
-	for _, r := range refs {
-		if r.Node == child {
-			return off, off + r.Size - 1
+func insertionSortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
 		}
-		off += r.Size
 	}
-	return off, off // unreachable for recorded children
+}
+
+func insertionSortByID(env *sim.Env, xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && env.IDs[xs[j]] < env.IDs[xs[j-1]]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func insertionSortRefsByID(env *sim.Env, xs []sparsify.ChildRef) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && env.IDs[xs[j].Node] < env.IDs[xs[j-1].Node]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
 }

@@ -13,8 +13,10 @@
 package mis
 
 import (
-	"sort"
+	"math"
+	"sync"
 
+	"dcluster/internal/flat"
 	"dcluster/internal/selectors"
 	"dcluster/internal/sim"
 )
@@ -42,46 +44,112 @@ type Options struct {
 
 // Result reports the MIS and the LOCAL-round cost.
 type Result struct {
-	InMIS       map[int]bool
+	// InMIS[node] reports membership; indexed by dense node index (the
+	// adjacency's index space). Only entries for the computed node set are
+	// meaningful.
+	InMIS       []bool
 	LocalRounds int
 }
 
-// Compute returns a maximal independent set of the graph (nodes, adj).
-// idOf maps nodes to their protocol IDs; adj must be symmetric. All
-// decisions use only per-node local knowledge (own ID, neighbour IDs from
-// the graph construction, and received messages).
-func Compute(nodes []int, idOf func(int) int, adj map[int][]int, ex Exchange, opt Options) Result {
-	if len(nodes) == 0 {
-		return Result{InMIS: map[int]bool{}}
+// scratch is the pooled per-computation state: per-node colours and sweep
+// states plus edge-aligned neighbour views (parallel to the CSR edge
+// array), generation-stamped so per-round resets are O(1).
+type scratch struct {
+	color     []int
+	next      []int
+	state     []int8
+	viewColor []int32
+	viewState []int8
+	viewStamp []int64
+	viewGen   int64
+	distinct  []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func (sc *scratch) reset(n, edges int) {
+	if cap(sc.color) < n {
+		sc.color = make([]int, n)
+		sc.next = make([]int, n)
+		sc.state = make([]int8, n)
 	}
-	color := make(map[int]int, len(nodes))
+	sc.color = sc.color[:n]
+	sc.next = sc.next[:n]
+	sc.state = sc.state[:n]
+	if cap(sc.viewStamp) < edges {
+		sc.viewColor = make([]int32, edges)
+		sc.viewState = make([]int8, edges)
+		sc.viewStamp = make([]int64, edges)
+		sc.viewGen = 0
+	}
+	sc.viewColor = sc.viewColor[:edges]
+	sc.viewState = sc.viewState[:edges]
+	sc.viewStamp = sc.viewStamp[:edges]
+}
+
+// Compute returns a maximal independent set of the graph (nodes, adj).
+// idOf maps nodes to their protocol IDs; adj must be symmetric and cover
+// the dense node index space. All decisions use only per-node local
+// knowledge (own ID, neighbour IDs from the graph construction, and
+// received messages).
+func Compute(nodes []int, idOf func(int) int, adj *flat.Adjacency, ex Exchange, opt Options) Result {
+	n := adj.N()
+	inMIS := make([]bool, n)
+	if len(nodes) == 0 {
+		return Result{InMIS: inMIS}
+	}
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	sc.reset(n, adj.NumEdges())
 	for _, v := range nodes {
-		color[v] = idOf(v)
+		sc.color[v] = idOf(v)
+		sc.state[v] = stUndecided
 	}
 	rounds := 0
 	if opt.Fast {
-		rounds = reduceColors(nodes, adj, color, ex, opt)
+		rounds = reduceColors(nodes, adj, sc, ex, opt)
 	}
-	inMIS, sweepRounds := sweep(nodes, adj, color, ex, opt.MaxSweepRounds)
+	sweepRounds := sweep(nodes, adj, sc, ex, opt.MaxSweepRounds)
+	for _, v := range nodes {
+		if sc.state[v] == stIn {
+			inMIS[v] = true
+		}
+	}
 	return Result{InMIS: inMIS, LocalRounds: rounds + sweepRounds}
 }
 
 // maxDegree returns the maximum degree among nodes.
-func maxDegree(nodes []int, adj map[int][]int) int {
+func maxDegree(nodes []int, adj *flat.Adjacency) int {
 	d := 0
 	for _, v := range nodes {
-		if len(adj[v]) > d {
-			d = len(adj[v])
+		if adj.Degree(v) > d {
+			d = adj.Degree(v)
 		}
 	}
 	return d
 }
 
+// fallbackHook, when non-nil, observes every colour-reduction fallback
+// (pickFreeIndex found no free index). Test instrumentation only.
+var fallbackHook func(v, nc int)
+
 // reduceColors iteratively shrinks the colour space from [1..N] to O(1)
 // colours, one LOCAL round per iteration; returns LOCAL rounds used.
 // The colouring stays proper throughout: if two neighbours picked the same
 // new colour c, then c ∈ F_{cv} \ F_{cu} and c ∈ F_{cu} \ F_{cv} — absurd.
-func reduceColors(nodes []int, adj map[int][]int, color map[int]int, ex Exchange, opt Options) int {
+//
+// The fallback nc = sel.Len() + colour keeps the colouring proper when the
+// heuristically-constructed ssf misses a free index (colours stay distinct:
+// fallback colours inherit distinctness from the old proper colouring and
+// exceed every picked index). A fallback can push worst ≥ m and fire the
+// "no progress" break below even though every other node reduced its
+// colour — that is deliberate loss-cutting, not an accounting bug: the
+// fallback colour itself did not shrink, the invariant "colour space =
+// [1..m]" is already broken for it, and the sweep that follows is correct
+// for any proper colouring (it merely costs rounds proportional to the
+// number of distinct colours). TestReduceColorsFallback pins this
+// behaviour at an adversarial (undersized-ssf) configuration.
+func reduceColors(nodes []int, adj *flat.Adjacency, sc *scratch, ex Exchange, opt Options) int {
 	deg := maxDegree(nodes, adj)
 	m := opt.IDBound
 	if m < 2 {
@@ -94,22 +162,35 @@ func reduceColors(nodes []int, adj map[int][]int, color map[int]int, ex Exchange
 			break // colour space already at the fixpoint scale
 		}
 		// One LOCAL round: broadcast current colour.
-		neigh := gatherNeighborValues(nodes, adj, color, ex, sim.KindColor)
+		gatherNeighborValues(adj, sc, ex, sim.KindColor)
 		rounds++
-		next := make(map[int]int, len(nodes))
 		worst := 0
+		overflow := false
 		for _, v := range nodes {
-			nc := pickFreeIndex(sel, color[v], neigh[v])
+			vals, stamps := neighborValues(adj, sc, v)
+			nc := pickFreeIndex(sel, sc.color[v], vals, stamps, sc.viewGen, sc)
 			if nc == 0 {
-				nc = sel.Len() + color[v] // fallback: stay proper, larger colour
+				nc = sel.Len() + sc.color[v] // fallback: stay proper, larger colour
+				if fallbackHook != nil {
+					fallbackHook(v, nc)
+				}
+				if nc > math.MaxInt32 {
+					// A colour beyond int32 would truncate in the Msg.A wire
+					// format of the next broadcast. Keep the current (proper,
+					// in-range) colouring and stop reducing instead.
+					overflow = true
+				}
 			}
-			next[v] = nc
+			sc.next[v] = nc
 			if nc > worst {
 				worst = nc
 			}
 		}
-		for v, c := range next {
-			color[v] = c
+		if overflow {
+			break
+		}
+		for _, v := range nodes {
+			sc.color[v] = sc.next[v]
 		}
 		if worst >= m {
 			break // no progress
@@ -120,45 +201,70 @@ func reduceColors(nodes []int, adj map[int][]int, color map[int]int, ex Exchange
 }
 
 // gatherNeighborValues runs one exchange where every node broadcasts its
-// value (in Msg.A) and collects, per node, the latest value of each
-// neighbour in the graph.
-func gatherNeighborValues(nodes []int, adj map[int][]int, val map[int]int, ex Exchange, kind sim.Kind) map[int]map[int]int {
+// value (in Msg.A) and stores, per graph edge, the latest value received
+// from that neighbour (edge-aligned, generation-stamped).
+func gatherNeighborValues(adj *flat.Adjacency, sc *scratch, ex Exchange, kind sim.Kind) {
 	ds := ex(func(v int) sim.Msg {
-		return sim.Msg{Kind: kind, A: int32(val[v])}
+		return sim.Msg{Kind: kind, A: int32(sc.color[v])}
 	})
-	out := make(map[int]map[int]int, len(nodes))
-	isNeighbor := make(map[int]map[int]bool, len(nodes))
-	for _, v := range nodes {
-		nb := make(map[int]bool, len(adj[v]))
-		for _, u := range adj[v] {
-			nb[u] = true
-		}
-		isNeighbor[v] = nb
-		out[v] = make(map[int]int, len(adj[v]))
-	}
+	sc.viewGen++
 	for _, d := range ds {
 		if d.Msg.Kind != kind {
 			continue
 		}
-		if m, ok := out[d.Receiver]; ok && isNeighbor[d.Receiver][d.Sender] {
-			m[d.Sender] = int(d.Msg.A)
+		if e := adj.EdgeIndex(d.Receiver, d.Sender); e >= 0 {
+			sc.viewColor[e] = d.Msg.A
+			sc.viewStamp[e] = sc.viewGen
 		}
 	}
-	return out
+}
+
+// neighborValues returns v's edge-aligned view slices for the current
+// gather generation: the neighbour colour is meaningful where the stamp
+// matches.
+func neighborValues(adj *flat.Adjacency, sc *scratch, v int) ([]int32, []int64) {
+	lo, hi := adj.Off[v], adj.Off[v+1]
+	return sc.viewColor[lo:hi], sc.viewStamp[lo:hi]
 }
 
 // pickFreeIndex returns the smallest index i with own ∈ S_i and u ∉ S_i for
-// every neighbour colour u, or 0 if none exists.
-func pickFreeIndex(sel *selectors.SSF, own int, neighborColors map[int]int) int {
-	distinct := make([]int, 0, len(neighborColors))
-	seen := map[int]bool{}
-	for _, c := range neighborColors {
-		if c != own && !seen[c] {
-			seen[c] = true
+// every distinct heard neighbour colour u, or 0 if none exists. vals/stamps
+// are the node's edge-aligned view (see neighborValues); sc.distinct is the
+// deduplication scratch (degrees are ≤ κ, so a linear scan dedupe-and-sort
+// replaces the old map+sort with identical output).
+func pickFreeIndex(sel *selectors.SSF, own int, vals []int32, stamps []int64, gen int64, sc *scratch) int {
+	distinct := sc.distinct[:0]
+	for i, s := range stamps {
+		if s != gen {
+			continue
+		}
+		c := int(vals[i])
+		if c == own {
+			continue
+		}
+		dup := false
+		for _, d := range distinct {
+			if d == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			distinct = append(distinct, c)
 		}
 	}
-	sort.Ints(distinct)
+	sc.distinct = distinct
+	// Insertion sort: the iteration order below must not depend on heard
+	// order (it did not before — the old implementation sorted too).
+	for i := 1; i < len(distinct); i++ {
+		v := distinct[i]
+		j := i - 1
+		for j >= 0 && distinct[j] > v {
+			distinct[j+1] = distinct[j]
+			j--
+		}
+		distinct[j+1] = v
+	}
 	for i := 0; i < sel.Len(); i++ {
 		if !sel.Contains(i, own) {
 			continue
@@ -177,37 +283,24 @@ func pickFreeIndex(sel *selectors.SSF, own int, neighborColors map[int]int) int 
 	return 0
 }
 
+// sweep state values (per node, in scratch.state).
+const (
+	stUndecided int8 = 0
+	stIn        int8 = 1
+	stOut       int8 = 2
+)
+
 // sweep runs the colour-class elimination: per LOCAL round each undecided
 // node broadcasts (colour, state); a node whose colour is a strict local
 // minimum among undecided neighbours joins, neighbours of members retire.
 // Terminates within the number of distinct colours (+1) rounds, because the
 // minimal-colour undecided node always joins.
-func sweep(nodes []int, adj map[int][]int, color map[int]int, ex Exchange, cap int) (map[int]bool, int) {
-	const (
-		stUndecided = 0
-		stIn        = 1
-		stOut       = 2
-	)
-	state := make(map[int]int, len(nodes))
+func sweep(nodes []int, adj *flat.Adjacency, sc *scratch, ex Exchange, cap int) int {
 	rounds := 0
-	// The adjacency sets are fixed across sweep rounds; build them once.
-	nb := make(map[int]map[int]bool, len(nodes))
-	for _, v := range nodes {
-		s := make(map[int]bool, len(adj[v]))
-		for _, u := range adj[v] {
-			s[u] = true
-		}
-		nb[v] = s
-	}
-	type info struct{ color, state int }
-	view := make(map[int]map[int]info, len(nodes))
-	for _, v := range nodes {
-		view[v] = make(map[int]info, len(adj[v]))
-	}
 	for {
 		undecided := false
 		for _, v := range nodes {
-			if state[v] == stUndecided {
+			if sc.state[v] == stUndecided {
 				undecided = true
 				break
 			}
@@ -219,51 +312,45 @@ func sweep(nodes []int, adj map[int][]int, color map[int]int, ex Exchange, cap i
 			break
 		}
 		ds := ex(func(v int) sim.Msg {
-			return sim.Msg{Kind: sim.KindMIS, A: int32(color[v]), B: int32(state[v])}
+			return sim.Msg{Kind: sim.KindMIS, A: int32(sc.color[v]), B: int32(sc.state[v])}
 		})
 		rounds++
-		// Per-node view of neighbour (colour, state), rebuilt per round in
-		// the recycled maps.
-		for _, m := range view {
-			clear(m)
-		}
+		// Per-node view of neighbour (colour, state): edge-aligned arrays, a
+		// generation bump replacing the per-round map clears.
+		sc.viewGen++
 		for _, d := range ds {
 			if d.Msg.Kind != sim.KindMIS {
 				continue
 			}
-			if m, ok := view[d.Receiver]; ok && nb[d.Receiver][d.Sender] {
-				m[d.Sender] = info{color: int(d.Msg.A), state: int(d.Msg.B)}
+			if e := adj.EdgeIndex(d.Receiver, d.Sender); e >= 0 {
+				sc.viewColor[e] = d.Msg.A
+				sc.viewState[e] = int8(d.Msg.B)
+				sc.viewStamp[e] = sc.viewGen
 			}
 		}
 		for _, v := range nodes {
-			if state[v] != stUndecided {
+			if sc.state[v] != stUndecided {
 				continue
 			}
 			join := true
-			for _, u := range adj[v] {
-				iv, heard := view[v][u]
-				if !heard {
+			lo, hi := adj.Off[v], adj.Off[v+1]
+			for e := lo; e < hi; e++ {
+				if sc.viewStamp[e] != sc.viewGen {
 					continue // silent neighbour left the protocol earlier
 				}
-				if iv.state == stIn {
-					state[v] = stOut
+				if sc.viewState[e] == stIn {
+					sc.state[v] = stOut
 					join = false
 					break
 				}
-				if iv.state == stUndecided && iv.color < color[v] {
+				if sc.viewState[e] == stUndecided && int(sc.viewColor[e]) < sc.color[v] {
 					join = false
 				}
 			}
-			if join && state[v] == stUndecided {
-				state[v] = stIn
+			if join && sc.state[v] == stUndecided {
+				sc.state[v] = stIn
 			}
 		}
 	}
-	inMIS := make(map[int]bool, len(nodes))
-	for _, v := range nodes {
-		if state[v] == stIn {
-			inMIS[v] = true
-		}
-	}
-	return inMIS, rounds
+	return rounds
 }

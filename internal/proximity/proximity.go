@@ -9,9 +9,11 @@ package proximity
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"dcluster/internal/comm"
 	"dcluster/internal/config"
+	"dcluster/internal/flat"
 	"dcluster/internal/selectors"
 	"dcluster/internal/sim"
 )
@@ -20,9 +22,10 @@ import (
 type Graph struct {
 	// Active are the participating node indices.
 	Active []int
-	// Adj maps each active node to its neighbours (Ev in Alg. 1). For close
-	// pairs the edge is guaranteed; the degree is at most κ.
-	Adj map[int][]int
+	// Adj is the proximity graph (Ev in Alg. 1) in CSR form over dense node
+	// indices; neighbour lists are ID-sorted. For close pairs the edge is
+	// guaranteed; the degree is at most κ.
+	Adj *flat.Adjacency
 	// Sched replays the exchange schedule: any subset of the construction's
 	// active set can re-send on it, and every delivery recorded during the
 	// exchange phase between surviving nodes re-occurs (reception
@@ -31,16 +34,19 @@ type Graph struct {
 }
 
 // Schedule is a replayable exchange schedule: the selector plus a snapshot
-// of the active set and cluster assignment at construction time. Passes run
-// through a private event scheduler that caches each member's scheduled
-// rounds, so the construction exchange pays the schedule evaluation once and
-// every replay (confirmations, flag/choose passes, MIS exchanges, batch
-// replays) merges cached event lists instead of re-hashing rounds×senders.
+// of the active set and cluster assignment at construction time (stored as
+// a node-index-sorted array pair, not a map — membership is a binary
+// search). Passes run through a private event scheduler that caches each
+// member's scheduled rounds, so the construction exchange pays the schedule
+// evaluation once and every replay (confirmations, flag/choose passes, MIS
+// exchanges, batch replays) merges cached event lists instead of re-hashing
+// rounds×senders.
 type Schedule struct {
-	sel     selectors.PairSelector
-	ids     []int         // env.IDs at construction (shared slice, read-only)
-	cluster map[int]int32 // snapshot: active node -> cluster at construction
-	ev      *comm.EventScheduler
+	sel      selectors.PairSelector
+	ids      []int   // env.IDs at construction (shared slice, read-only)
+	actNodes []int32 // construction-time active set, ascending node index
+	actClu   []int32 // parallel cluster snapshot
+	ev       *comm.EventScheduler
 
 	// Per-pass sender snapshot (scratch reused across passes).
 	members []int
@@ -51,11 +57,21 @@ type Schedule struct {
 // Len returns the number of rounds of one replay pass.
 func (s *Schedule) Len() int { return s.sel.Len() }
 
-// Member reports whether node was active at construction time.
-func (s *Schedule) Member(node int) bool {
-	_, ok := s.cluster[node]
-	return ok
+// memberIdx returns node's position in the sorted snapshot, or -1.
+func (s *Schedule) memberIdx(node int) int {
+	i := sort.Search(len(s.actNodes), func(i int) bool { return int(s.actNodes[i]) >= node })
+	if i < len(s.actNodes) && int(s.actNodes[i]) == node {
+		return i
+	}
+	return -1
 }
+
+// Member reports whether node was active at construction time.
+func (s *Schedule) Member(node int) bool { return s.memberIdx(node) >= 0 }
+
+// Members returns the construction-time active set in ascending node-index
+// order (shared backing array, read-only).
+func (s *Schedule) Members() []int32 { return s.actNodes }
 
 // snapshotSenders filters senders down to construction-time members and
 // fills the parallel ID/cluster slices the event scheduler consumes.
@@ -64,13 +80,13 @@ func (s *Schedule) snapshotSenders(senders []int) {
 	s.mIDs = s.mIDs[:0]
 	s.mClu = s.mClu[:0]
 	for _, v := range senders {
-		c, ok := s.cluster[v]
-		if !ok {
+		i := s.memberIdx(v)
+		if i < 0 {
 			continue
 		}
 		s.members = append(s.members, v)
 		s.mIDs = append(s.mIDs, s.ids[v])
-		s.mClu = append(s.mClu, int(c))
+		s.mClu = append(s.mClu, int(s.actClu[i]))
 	}
 }
 
@@ -94,11 +110,33 @@ func (s *Schedule) Run(env *sim.Env, senders []int, msgOf func(node int) sim.Msg
 	return all
 }
 
-// reception records one exchange-phase delivery at a node.
-type reception struct {
-	sender int
-	round  int
+// scratch holds the per-construction working state, pooled across calls so
+// a construction allocates only what outlives it (the Schedule snapshot and
+// the result adjacency).
+type scratch struct {
+	clu flat.Int32Stamp // active node -> cluster snapshot (O(1) lookup)
+
+	// Exchange receptions as flat (receiver, sender, round) triples, grouped
+	// by receiver with a stable counting scatter.
+	recS, recRound []int32
+	recR           []int32
+	cnt            flat.Int32Stamp // per-receiver count, then write cursor
+	gS, gRound     []int32         // grouped by receiver
+
+	spanS, spanE flat.Int32Stamp // receiver -> grouped span
+
+	in, rem flat.BoolStamp // filtering membership / removal
+	inList  []int32
+
+	candS, candE flat.Int32Stamp // node -> candidate span in candBuf
+	candBuf      []int32
+	conf         []bool // aligned with candBuf: confirmed candidate positions
+
+	senders []int
+	adjB    flat.AdjacencyBuilder
 }
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
 
 // Construct runs Algorithm 1 on the active set. clusterOf gives each active
 // node's cluster ID (use a constant function for unclustered sets, paired
@@ -129,95 +167,165 @@ func Construct(
 	} else if lists.Selector() != sched {
 		return nil, fmt.Errorf("proximity: schedule cache was built over a different selector")
 	}
-	snapshot := make(map[int]int32, len(active))
-	for _, v := range active {
-		snapshot[v] = clusterOf(v)
+	n := env.F.N()
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+
+	// Cluster snapshot: O(1) lookup during construction, sorted array pair
+	// for the Schedule that outlives it.
+	sc.clu.Reset(n)
+	actNodes := make([]int32, len(active))
+	for i, v := range active {
+		actNodes[i] = int32(v)
+		sc.clu.Set(v, clusterOf(v))
 	}
-	s := &Schedule{sel: sched, ids: env.IDs, cluster: snapshot, ev: comm.NewEventSchedulerShared(lists)}
+	sort.Slice(actNodes, func(i, j int) bool { return actNodes[i] < actNodes[j] })
+	actClu := make([]int32, len(actNodes))
+	for i, v := range actNodes {
+		c, _ := sc.clu.Get(int(v))
+		actClu[i] = c
+	}
+	s := &Schedule{sel: sched, ids: env.IDs, actNodes: actNodes, actClu: actClu, ev: comm.NewEventSchedulerShared(lists)}
 
 	// Exchange phase: one full pass, everyone scheduled transmits ID+cluster;
 	// the per-delivery round index is recorded for the filtering rule.
 	hello := func(v int) sim.Msg {
-		return sim.Msg{Kind: sim.KindHello, From: int32(env.IDs[v]), Cluster: snapshot[v]}
+		c, _ := sc.clu.Get(v)
+		return sim.Msg{Kind: sim.KindHello, From: int32(env.IDs[v]), Cluster: c}
 	}
-	recvs := exchangeWithRounds(env, s, active, hello)
+	exchangeWithRounds(env, s, sc, active, hello)
+
+	// Group receptions by receiver (stable counting scatter: per-receiver
+	// order stays delivery order, exactly as the per-receiver append did).
+	sc.cnt.Reset(n)
+	for _, r := range sc.recR {
+		c, _ := sc.cnt.Get(int(r))
+		sc.cnt.Set(int(r), c+1)
+	}
+	sc.spanS.Reset(n)
+	sc.spanE.Reset(n)
+	total := len(sc.recR)
+	if cap(sc.gS) < total {
+		sc.gS = make([]int32, total)
+		sc.gRound = make([]int32, total)
+	}
+	sc.gS = sc.gS[:total]
+	sc.gRound = sc.gRound[:total]
+	off := int32(0)
+	for _, u := range active {
+		c, _ := sc.cnt.Get(u)
+		sc.spanS.Set(u, off)
+		sc.cnt.Set(u, off) // becomes the write cursor
+		off += c
+		sc.spanE.Set(u, off)
+	}
+	for i, r := range sc.recR {
+		pos, _ := sc.cnt.Get(int(r))
+		sc.gS[pos] = sc.recS[i]
+		sc.gRound[pos] = sc.recRound[i]
+		sc.cnt.Set(int(r), pos+1)
+	}
 
 	// Filtering phase (local computation, no rounds). Membership ("heard
-	// in-cluster") and removal are tracked in generation-stamped arrays —
-	// one generation per listener — instead of per-listener maps; the
-	// resulting candidate sets are identical (removal is order-independent:
-	// w is removed iff some reception round schedules it) and end sorted by
-	// ID either way.
-	candidates := make(map[int][]int, len(active))
-	n := env.F.N()
-	inStamp := make([]int64, n)
-	remStamp := make([]int64, n)
-	var gen int64
-	inList := make([]int, 0, 16)
+	// in-cluster") and removal are tracked in generation-stamped sets — one
+	// generation per listener; the resulting candidate sets are identical
+	// (removal is order-independent: w is removed iff some reception round
+	// schedules it) and end sorted by ID either way.
+	sc.candBuf = sc.candBuf[:0]
+	sc.candS.Reset(n)
+	sc.candE.Reset(n)
 	for _, u := range active {
-		rs := recvs[u]
-		gen++
-		inList = inList[:0]
-		for _, r := range rs {
-			if clustered && snapshot[r.sender] != snapshot[u] {
-				continue // ignore other clusters (Alg. 1 remark)
+		uClu, _ := sc.clu.Get(u)
+		lo, _ := sc.spanS.Get(u)
+		hi, _ := sc.spanE.Get(u)
+		senders := sc.gS[lo:hi]
+		rounds := sc.gRound[lo:hi]
+		sc.in.Reset(n)
+		sc.rem.Reset(n)
+		sc.inList = sc.inList[:0]
+		for _, w := range senders {
+			if clustered {
+				wClu, _ := sc.clu.Get(int(w))
+				if wClu != uClu {
+					continue // ignore other clusters (Alg. 1 remark)
+				}
 			}
-			if inStamp[r.sender] != gen {
-				inStamp[r.sender] = gen
-				inList = append(inList, r.sender)
+			if !sc.in.Has(int(w)) {
+				sc.in.Set(int(w))
+				sc.inList = append(sc.inList, w)
 			}
 		}
-		for _, r := range rs {
-			if inStamp[r.sender] != gen {
+		for i, sdr := range senders {
+			if !sc.in.Has(int(sdr)) {
 				continue
 			}
-			for _, w := range inList {
-				if w == r.sender || remStamp[w] == gen {
+			round := int(rounds[i])
+			for _, w := range sc.inList {
+				if w == sdr || sc.rem.Has(int(w)) {
 					continue
 				}
-				// w was transmitting in the round u heard r.sender ⇒ (u,w)
-				// is not a close pair (lookup in the schedule, line 7).
-				if s.sel.ContainsPair(r.round, env.IDs[w], int(snapshot[w])) {
-					remStamp[w] = gen
+				// w was transmitting in the round u heard sdr ⇒ (u,w) is not
+				// a close pair (lookup in the schedule, line 7).
+				wClu, _ := sc.clu.Get(int(w))
+				if s.sel.ContainsPair(round, env.IDs[w], int(wClu)) {
+					sc.rem.Set(int(w))
 				}
 			}
 		}
-		var cand []int
-		for _, w := range inList {
-			if remStamp[w] != gen {
-				cand = append(cand, w)
+		start := int32(len(sc.candBuf))
+		for _, w := range sc.inList {
+			if !sc.rem.Has(int(w)) {
+				sc.candBuf = append(sc.candBuf, w)
 			}
 		}
-		if len(cand) > cfg.Kappa {
-			cand = nil // |Cv| > κ ⇒ purge (line 9–10)
+		if int(int32(len(sc.candBuf))-start) > cfg.Kappa {
+			sc.candBuf = sc.candBuf[:start] // |Cv| > κ ⇒ purge (line 9–10)
 		}
-		sort.Slice(cand, func(i, j int) bool { return env.IDs[cand[i]] < env.IDs[cand[j]] })
-		candidates[u] = cand
+		sortByID(sc.candBuf[start:], env.IDs)
+		sc.candS.Set(u, start)
+		sc.candE.Set(u, int32(len(sc.candBuf)))
 	}
 
 	// Confirmation phase: κ repetitions of S; in repetition j a node
-	// announces its j-th candidate.
-	confirmed := make(map[int]map[int]bool, len(active))
+	// announces its j-th candidate. Confirmations are recorded per candidate
+	// position (the spans are ID-sorted, so the final adjacency lists come
+	// out ID-sorted with no trailing sort).
+	if cap(sc.conf) < len(sc.candBuf) {
+		sc.conf = make([]bool, len(sc.candBuf))
+	}
+	sc.conf = sc.conf[:len(sc.candBuf)]
+	for i := range sc.conf {
+		sc.conf[i] = false
+	}
+	candSpan := func(v int) []int32 {
+		lo, ok := sc.candS.Get(v)
+		if !ok {
+			return nil
+		}
+		hi, _ := sc.candE.Get(v)
+		return sc.candBuf[lo:hi]
+	}
 	for j := 0; j < cfg.Kappa; j++ {
 		msg := func(v int) sim.Msg {
-			c := candidates[v]
+			c := candSpan(v)
 			if j >= len(c) {
 				return sim.Msg{Kind: sim.KindNone, From: int32(env.IDs[v])}
 			}
+			clu, _ := sc.clu.Get(v)
 			return sim.Msg{
 				Kind:    sim.KindConfirm,
 				From:    int32(env.IDs[v]),
-				Cluster: snapshot[v],
+				Cluster: clu,
 				A:       int32(env.IDs[c[j]]),
 			}
 		}
-		senders := make([]int, 0, len(active))
+		sc.senders = sc.senders[:0]
 		for _, v := range active {
-			if j < len(candidates[v]) {
-				senders = append(senders, v)
+			if j < len(candSpan(v)) {
+				sc.senders = append(sc.senders, v)
 			}
 		}
-		ds := s.Run(env, senders, msg, active)
+		ds := s.Run(env, sc.senders, msg, active)
 		for _, d := range ds {
 			if d.Msg.Kind != sim.KindConfirm {
 				continue
@@ -226,46 +334,70 @@ func Construct(
 			if int(d.Msg.A) != env.IDs[u] {
 				continue // confirmation addressed to someone else
 			}
-			w := d.Sender
-			if containsNode(candidates[u], w) {
-				if confirmed[u] == nil {
-					confirmed[u] = make(map[int]bool, cfg.Kappa)
+			lo, ok := sc.candS.Get(u)
+			if !ok {
+				continue
+			}
+			hi, _ := sc.candE.Get(u)
+			for p := lo; p < hi; p++ {
+				if int(sc.candBuf[p]) == d.Sender {
+					sc.conf[p] = true // w ∈ Cu and v ∈ Cw evidenced
+					break
 				}
-				confirmed[u][w] = true // w ∈ Cu and v ∈ Cw evidenced
 			}
 		}
 	}
 
-	adj := make(map[int][]int, len(active))
+	adj := &flat.Adjacency{}
+	sc.adjB.Reset(n)
 	for _, u := range active {
-		var es []int
-		for w := range confirmed[u] {
-			es = append(es, w)
+		lo, _ := sc.candS.Get(u)
+		hi, _ := sc.candE.Get(u)
+		for p := lo; p < hi; p++ {
+			if sc.conf[p] {
+				sc.adjB.Add(u, int(sc.candBuf[p]))
+			}
 		}
-		sort.Slice(es, func(i, j int) bool { return env.IDs[es[i]] < env.IDs[es[j]] })
-		adj[u] = es
 	}
+	sc.adjB.Build(adj, false)
 	return &Graph{Active: active, Adj: adj, Sched: s}, nil
 }
 
-// exchangeWithRounds runs one schedule pass recording the round index of
-// every delivery (needed by the filtering rule). The pass is the schedule's
-// first, so it also warms the event scheduler's per-member round cache for
-// every replay that follows.
-func exchangeWithRounds(env *sim.Env, s *Schedule, active []int, msgOf func(int) sim.Msg) map[int][]reception {
-	s.snapshotSenders(active)
-	recvs := make(map[int][]reception, len(active))
-	s.ev.Pass(env, s.members, s.mIDs, s.mClu, msgOf, active, func(i int, ds []sim.Delivery) {
-		for _, d := range ds {
-			recvs[d.Receiver] = append(recvs[d.Receiver], reception{sender: d.Sender, round: i})
+// sortByID insertion-sorts a candidate span by protocol ID (spans hold at
+// most κ entries; IDs are unique, so the order is total).
+func sortByID(span []int32, ids []int) {
+	for i := 1; i < len(span); i++ {
+		v := span[i]
+		j := i - 1
+		for j >= 0 && ids[span[j]] > ids[v] {
+			span[j+1] = span[j]
+			j--
 		}
-	})
-	return recvs
+		span[j+1] = v
+	}
 }
 
-func containsNode(list []int, v int) bool {
+// exchangeWithRounds runs one schedule pass recording (receiver, sender,
+// round) for every delivery (the round index is needed by the filtering
+// rule). The pass is the schedule's first, so it also warms the event
+// scheduler's per-member round cache for every replay that follows.
+func exchangeWithRounds(env *sim.Env, s *Schedule, sc *scratch, active []int, msgOf func(int) sim.Msg) {
+	s.snapshotSenders(active)
+	sc.recR = sc.recR[:0]
+	sc.recS = sc.recS[:0]
+	sc.recRound = sc.recRound[:0]
+	s.ev.Pass(env, s.members, s.mIDs, s.mClu, msgOf, active, func(i int, ds []sim.Delivery) {
+		for _, d := range ds {
+			sc.recR = append(sc.recR, int32(d.Receiver))
+			sc.recS = append(sc.recS, int32(d.Sender))
+			sc.recRound = append(sc.recRound, int32(i))
+		}
+	})
+}
+
+func containsNode(list []int32, v int) bool {
 	for _, x := range list {
-		if x == v {
+		if int(x) == v {
 			return true
 		}
 	}

@@ -74,7 +74,7 @@ func TestClosePairsGetEdges(t *testing.T) {
 		t.Fatal("test topology has no close pairs; pick a denser one")
 	}
 	for _, p := range pairs {
-		if !containsNode(g.Adj[p.U], p.W) || !containsNode(g.Adj[p.W], p.U) {
+		if !containsNode(g.Adj.Neighbors(p.U), p.W) || !containsNode(g.Adj.Neighbors(p.W), p.U) {
 			t.Errorf("close pair (%d,%d) missing from proximity graph", p.U, p.W)
 		}
 	}
@@ -130,13 +130,12 @@ func TestClusteredConstructionIgnoresOtherClusters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	edges := 0
-	for u, ns := range g.Adj {
-		for _, v := range ns {
+	edges := g.Adj.NumEdges()
+	for u := 0; u < g.Adj.N(); u++ {
+		for _, v := range g.Adj.Neighbors(u) {
 			if clusterOf[u] != clusterOf[v] {
 				t.Errorf("cross-cluster edge %d-%d", u, v)
 			}
-			edges++
 		}
 	}
 	if edges == 0 {
@@ -146,7 +145,7 @@ func TestClusteredConstructionIgnoresOtherClusters(t *testing.T) {
 	gamma := analysis.MaxClusterSize(clusterOf)
 	pairs := analysis.ClosePairs(pts, clusterOf, gamma, 1, env.F.Params().Eps)
 	for _, p := range pairs {
-		if !containsNode(g.Adj[p.U], p.W) {
+		if !containsNode(g.Adj.Neighbors(p.U), p.W) {
 			t.Errorf("clustered close pair (%d,%d) missing", p.U, p.W)
 		}
 	}
@@ -170,9 +169,9 @@ func TestScheduleReplaySubsetPreservesEdgeExchange(t *testing.T) {
 	for _, d := range ds {
 		heard[[2]int{d.Receiver, d.Sender}] = true
 	}
-	for u, ns := range g.Adj {
-		for _, v := range ns {
-			if !heard[[2]int{u, v}] {
+	for u := 0; u < g.Adj.N(); u++ {
+		for _, v := range g.Adj.Neighbors(u) {
+			if !heard[[2]int{u, int(v)}] {
 				t.Errorf("edge %d<-%d did not re-exchange on replay", u, v)
 			}
 		}
@@ -220,8 +219,8 @@ func TestIsolatedNodesNoEdges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for u, ns := range g.Adj {
-		if len(ns) != 0 {
+	for u := 0; u < g.Adj.N(); u++ {
+		if ns := g.Adj.Neighbors(u); len(ns) != 0 {
 			t.Errorf("isolated node %d has edges %v", u, ns)
 		}
 	}

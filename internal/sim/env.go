@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"dcluster/internal/sinr"
 )
@@ -108,6 +109,11 @@ type Env struct {
 	passBuf []Delivery
 	memo    envMemo
 
+	// derived caches execution-scoped derived structures (selector families,
+	// schedule-list caches, SNS instances) keyed by the parameters that
+	// determine them; see CacheGet.
+	derived map[any]any
+
 	// Fault-layer state (see fault.go): the restart schedule cursor, the
 	// restart callback, the stall watchdog's idle-round counter, the
 	// transmitter-filter scratch, and the engine's round hook.
@@ -137,9 +143,17 @@ type Mark struct {
 // per node, each unique and within [1..idBound]. It is the single validator
 // behind both NewEnv and the public NewNetwork fail-fast check, and returns
 // the ID→node index it builds while validating so NewEnv pays one pass.
+//
+// idBound (and therefore every ID) must fit in an int32: protocol messages
+// carry IDs, cluster IDs and binary-search bounds over [1..idBound] as
+// int32 (Msg.From/Cluster/A/B/C/List), so a larger ID would silently
+// truncate in transit and could alias two nodes. Rejected here, fail-fast.
 func ValidateIDs(ids []int, n, idBound int) (map[int]int, error) {
 	if len(ids) != n {
 		return nil, fmt.Errorf("sim: %d ids for %d nodes", len(ids), n)
+	}
+	if int64(idBound) > math.MaxInt32 {
+		return nil, fmt.Errorf("sim: id bound %d exceeds int32 range (protocol messages carry IDs as int32)", idBound)
 	}
 	idToNode := make(map[int]int, len(ids))
 	for node, id := range ids {
@@ -308,6 +322,26 @@ func (e *Env) Step(txs []int, msgOf func(node int) Msg, listeners []int) []Deliv
 	}
 	e.noteLiveRound(len(out))
 	return out
+}
+
+// CacheGet returns the execution-scoped derived structure stored under key.
+// Derived structures — selector families, schedule-list caches, SNS
+// instances — are pure functions of their parameters and the environment, so
+// layers that would otherwise rebuild them per call (one radius reduction or
+// broadcast phase at a time) key them here by parameter tuple and rebuild
+// only on first use. The cache follows the environment's lifetime and
+// single-goroutine execution discipline.
+func (e *Env) CacheGet(key any) (any, bool) {
+	v, ok := e.derived[key]
+	return v, ok
+}
+
+// CachePut stores an execution-scoped derived structure under key.
+func (e *Env) CachePut(key any, v any) {
+	if e.derived == nil {
+		e.derived = map[any]any{}
+	}
+	e.derived[key] = v
 }
 
 // StepReplay executes one synchronous round whose reception outcome is

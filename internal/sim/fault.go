@@ -54,6 +54,13 @@ func (e *Env) ReceptionPure() bool { return !e.ctl.ImpureReception }
 // fireRestarts delivers every scheduled restart at or before the current
 // round. Called after each round-counter advance, including bulk skips.
 func (e *Env) fireRestarts() {
+	if e.restartIdx >= len(e.restarts) {
+		return // no pending restarts: keep the per-round call inlineable
+	}
+	e.fireRestartsSlow()
+}
+
+func (e *Env) fireRestartsSlow() {
 	for e.restartIdx < len(e.restarts) && e.restarts[e.restartIdx].Round <= e.rounds {
 		if e.onRestart != nil {
 			e.onRestart(e.restarts[e.restartIdx].Node)

@@ -18,7 +18,7 @@ import (
 
 // memoTxCap bounds the transmitter-set size eligible for the round memo;
 // larger rounds are rare and dominated by genuinely new physics.
-const memoTxCap = 12
+const memoTxCap = 48
 
 // memoBudget caps the total memoized ints (transmitters + receptions) per
 // execution.
@@ -33,6 +33,7 @@ type listenerSetEntry struct {
 // roundMemoEntry is one memoized round outcome: the exact transmitter
 // sequence under one interned listener set, and its receptions.
 type roundMemoEntry struct {
+	key  uint64
 	lid  uint32
 	txs  []int32
 	recs []sinr.Reception
@@ -41,13 +42,101 @@ type roundMemoEntry struct {
 type envMemo struct {
 	sets    map[uint64][]listenerSetEntry
 	nextSet uint32
-	rounds  map[uint64][]roundMemoEntry
 	entries int
+
+	// Open-addressed round table (linear probing over flat arrays): slot i
+	// holds hashes[i] and the index+1 of its entry in rounds (0 = empty).
+	// Collisions on the full 64-bit hash chain through the probe sequence;
+	// full-content comparison disambiguates genuine hash collisions.
+	hashes []uint64
+	slots  []int32
+	rounds []roundMemoEntry
+
+	// Arena chunks backing the entries' txs and recs (see allocTxs).
+	txArena  []int32
+	recArena []sinr.Reception
 
 	// solo[lid][v] memoizes the dominant |txs| = 1 rounds with two array
 	// loads instead of a map probe: nil marks "not captured", a non-nil
 	// empty slice a captured empty outcome.
 	solo [][][]sinr.Reception
+}
+
+// roundSlot returns the probe slot for key: either the slot holding an
+// existing entry with that hash-and-content or the empty slot where a new
+// entry belongs. The table is kept at most half full, so the probe loop
+// terminates.
+func (m *envMemo) roundSlot(key uint64, lid uint32, txs []int) int {
+	mask := uint64(len(m.hashes) - 1)
+	i := key & mask
+	for {
+		s := m.slots[i]
+		if s == 0 {
+			return int(i)
+		}
+		if m.hashes[i] == key {
+			en := &m.rounds[s-1]
+			if en.lid == lid && len(en.txs) == len(txs) {
+				match := true
+				for k, v := range en.txs {
+					if int(v) != txs[k] {
+						match = false
+						break
+					}
+				}
+				if match {
+					return int(i)
+				}
+			}
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// memoChunk sizes the arena chunks backing captured transmitter and
+// reception sequences: one allocation serves many captures, instead of two
+// small zeroed allocations per memoized round.
+const memoChunk = 4096
+
+// allocTxs carves a length-n int32 slice out of the transmitter arena.
+func (m *envMemo) allocTxs(n int) []int32 {
+	if len(m.txArena)+n > cap(m.txArena) {
+		m.txArena = make([]int32, 0, max(memoChunk, n))
+	}
+	s := m.txArena[len(m.txArena) : len(m.txArena)+n]
+	m.txArena = m.txArena[:len(m.txArena)+n]
+	return s
+}
+
+// allocRecs carves a zero-length, capacity-n slice out of the reception
+// arena.
+func (m *envMemo) allocRecs(n int) []sinr.Reception {
+	if len(m.recArena)+n > cap(m.recArena) {
+		m.recArena = make([]sinr.Reception, 0, max(memoChunk, n))
+	}
+	s := m.recArena[len(m.recArena) : len(m.recArena) : len(m.recArena)+n]
+	m.recArena = m.recArena[:len(m.recArena)+n]
+	return s
+}
+
+// growRounds (re)builds the probe table at twice the capacity.
+func (m *envMemo) growRounds() {
+	n := 2 * len(m.hashes)
+	if n == 0 {
+		n = 256
+	}
+	m.hashes = make([]uint64, n)
+	m.slots = make([]int32, n)
+	mask := uint64(n - 1)
+	for ei := range m.rounds {
+		en := &m.rounds[ei]
+		i := en.key & mask
+		for m.slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		m.hashes[i] = en.key
+		m.slots[i] = int32(ei + 1)
+	}
 }
 
 // intsHash mixes an int sequence into a lookup key (order-sensitive, as
@@ -113,38 +202,30 @@ func (e *Env) StepMemo(txs []int, msgOf func(node int) Msg, listeners []int, lid
 			return ds
 		}
 	}
-	if e.memo.rounds == nil {
-		e.memo.rounds = map[uint64][]roundMemoEntry{}
+	if e.memo.hashes == nil {
+		e.memo.growRounds()
 	}
 	key := intsHash(uint64(lid)*0xc2b2ae3d27d4eb4f+14695981039346656037, txs)
-	bucket := e.memo.rounds[key]
-	for bi := range bucket {
-		en := &bucket[bi]
-		if en.lid != lid || len(en.txs) != len(txs) {
-			continue
-		}
-		match := true
-		for k, v := range en.txs {
-			if int(v) != txs[k] {
-				match = false
-				break
-			}
-		}
-		if match {
-			return e.StepReplay(txs, en.recs, msgOf)
-		}
+	slot := e.memo.roundSlot(key, lid, txs)
+	if s := e.memo.slots[slot]; s != 0 {
+		return e.StepReplay(txs, e.memo.rounds[s-1].recs, msgOf)
 	}
 	ds := e.Step(txs, msgOf, listeners)
 	if e.memo.entries+len(txs)+len(ds) <= memoBudget {
-		en := roundMemoEntry{lid: lid, txs: make([]int32, len(txs)), recs: make([]sinr.Reception, 0, len(ds))}
+		en := roundMemoEntry{key: key, lid: lid, txs: e.memo.allocTxs(len(txs)), recs: e.memo.allocRecs(len(ds))}
 		for k, v := range txs {
 			en.txs[k] = int32(v)
 		}
 		for _, d := range ds {
 			en.recs = append(en.recs, sinr.Reception{Receiver: d.Receiver, Sender: d.Sender})
 		}
-		e.memo.rounds[key] = append(bucket, en)
+		e.memo.rounds = append(e.memo.rounds, en)
+		e.memo.hashes[slot] = key
+		e.memo.slots[slot] = int32(len(e.memo.rounds))
 		e.memo.entries += len(txs) + len(ds)
+		if 2*len(e.memo.rounds) >= len(e.memo.hashes) {
+			e.memo.growRounds()
+		}
 	}
 	return ds
 }

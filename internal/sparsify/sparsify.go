@@ -8,9 +8,11 @@ package sparsify
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"dcluster/internal/comm"
 	"dcluster/internal/config"
+	"dcluster/internal/flat"
 	"dcluster/internal/mis"
 	"dcluster/internal/proximity"
 	"dcluster/internal/selectors"
@@ -106,6 +108,34 @@ type Result struct {
 
 func constOne(int) int32 { return 1 }
 
+// scratch is the pooled per-call working state: generation-stamped per-node
+// sets/maps and edge-aligned Y-flag views, replacing the per-iteration map
+// allocations of the original implementation.
+type scratch struct {
+	inY    flat.BoolStamp // independent-set membership
+	yVal   []int8         // edge-aligned heard Y-flag values
+	yStamp []int64        // edge-aligned stamps for yVal
+	yGen   int64
+	parent flat.Int32Stamp // child -> chosen parent node
+	newPar flat.BoolStamp  // nodes that acquired a child this iteration
+	sends  []int           // choose-pass sender scratch
+	prnts  []int           // parents accumulated across iterations
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// resetEdges sizes the edge-aligned view for the current graph.
+func (sc *scratch) resetEdges(edges int) {
+	if cap(sc.yStamp) < edges {
+		sc.yVal = make([]int8, edges)
+		sc.yStamp = make([]int64, edges)
+		sc.yGen = 0
+	}
+	sc.yVal = sc.yVal[:edges]
+	sc.yStamp = sc.yStamp[:edges]
+	sc.yGen++
+}
+
 // Run executes Algorithm 2 on the active set, mutating st.
 func Run(env *sim.Env, st *State, active []int, call Call) (*Result, error) {
 	if err := call.Cfg.Validate(); err != nil {
@@ -120,11 +150,14 @@ func Run(env *sim.Env, st *State, active []int, call Call) (*Result, error) {
 	}
 	res := &Result{BatchStart: len(st.Batches)}
 
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	sc.prnts = sc.prnts[:0]
+
 	current := append([]int(nil), active...)
-	prnts := map[int]bool{}
 	for i := 0; i < call.Gamma; i++ {
 		startRounds := env.Rounds()
-		changed, err := iterate(env, st, &current, prnts, call, clusterOf)
+		changed, err := iterate(env, st, &current, sc, call, clusterOf)
 		if err != nil {
 			return nil, err
 		}
@@ -139,9 +172,7 @@ func Run(env *sim.Env, st *State, active []int, call Call) (*Result, error) {
 	}
 
 	survivors := append([]int(nil), current...)
-	for v := range prnts {
-		survivors = append(survivors, v)
-	}
+	survivors = append(survivors, sc.prnts...)
 	sort.Ints(survivors)
 	res.Survivors = survivors
 	res.BatchEnd = len(st.Batches)
@@ -154,7 +185,7 @@ func iterate(
 	env *sim.Env,
 	st *State,
 	current *[]int,
-	prnts map[int]bool,
+	sc *scratch,
 	call Call,
 	clusterOf func(int) int32,
 ) (bool, error) {
@@ -163,65 +194,77 @@ func iterate(
 	if err != nil {
 		return false, fmt.Errorf("sparsify: proximity construction: %w", err)
 	}
+	n := env.F.N()
 
-	// Independent set Y of the proximity graph.
-	inY := independentSet(env, g, activeSet, call)
+	// Independent set Y of the proximity graph (fills sc.inY).
+	independentSet(env, g, activeSet, call, sc)
 
 	// One schedule pass: everyone announces its Y flag, so prospective
-	// children learn which neighbours joined Y.
+	// children learn which neighbours joined Y. Heard flags are stored
+	// edge-aligned (parallel to the CSR edge array); flags from non-edge
+	// senders are dropped, exactly as the old per-node view maps were never
+	// consulted off-edge.
 	flag := func(v int) sim.Msg {
 		b := int32(0)
-		if inY[v] {
+		if sc.inY.Has(v) {
 			b = 1
 		}
 		return sim.Msg{Kind: sim.KindYFlag, From: int32(env.IDs[v]), A: b}
 	}
-	yViews := make(map[int]map[int]bool, len(activeSet)) // node -> neighbour -> inY
+	sc.resetEdges(g.Adj.NumEdges())
 	for _, d := range g.Sched.Run(env, activeSet, flag, activeSet) {
 		if d.Msg.Kind != sim.KindYFlag {
 			continue
 		}
-		if yViews[d.Receiver] == nil {
-			yViews[d.Receiver] = map[int]bool{}
+		if e := g.Adj.EdgeIndex(d.Receiver, d.Sender); e >= 0 {
+			v := int8(0)
+			if d.Msg.A == 1 {
+				v = 1
+			}
+			sc.yVal[e] = v
+			sc.yStamp[e] = sc.yGen
 		}
-		yViews[d.Receiver][d.Sender] = d.Msg.A == 1
 	}
 
 	// Children pick parents: min-ID Y-neighbour (line 8).
-	parentOf := map[int]int{}
+	sc.parent.Reset(n)
+	sc.sends = sc.sends[:0]
 	for _, v := range activeSet {
-		if inY[v] {
+		if sc.inY.Has(v) {
 			continue
 		}
 		best := -1
-		for _, u := range g.Adj[v] {
-			if yViews[v][u] {
+		lo := int(g.Adj.Off[v])
+		for i, u32 := range g.Adj.Neighbors(v) {
+			e := lo + i
+			if sc.yStamp[e] == sc.yGen && sc.yVal[e] == 1 {
+				u := int(u32)
 				if best < 0 || env.IDs[u] < env.IDs[best] {
 					best = u
 				}
 			}
 		}
 		if best >= 0 {
-			parentOf[v] = best
+			sc.parent.Set(v, int32(best))
+			sc.sends = append(sc.sends, v)
 		}
 	}
 
 	// One schedule pass: children notify parents, piggybacking their
 	// completed subtree size (used by imperfect labeling).
-	chooseSenders := make([]int, 0, len(parentOf))
-	for v := range parentOf {
-		chooseSenders = append(chooseSenders, v)
-	}
+	chooseSenders := sc.sends
 	sort.Ints(chooseSenders)
 	chooseMsg := func(v int) sim.Msg {
+		p, _ := sc.parent.Get(v)
 		return sim.Msg{
 			Kind: sim.KindChoose,
 			From: int32(env.IDs[v]),
-			A:    int32(env.IDs[parentOf[v]]),
+			A:    int32(env.IDs[p]),
 			B:    int32(st.SubtreeSize[v]),
 		}
 	}
-	newParents := map[int]bool{}
+	sc.newPar.Reset(n)
+	newParents := 0
 	for _, d := range g.Sched.Run(env, chooseSenders, chooseMsg, activeSet) {
 		if d.Msg.Kind != sim.KindChoose {
 			continue
@@ -234,7 +277,7 @@ func iterate(
 		if child < 0 {
 			continue
 		}
-		if chosen, ok := parentOf[child]; !ok || chosen != p {
+		if chosen, ok := sc.parent.Get(child); !ok || int(chosen) != p {
 			continue
 		}
 		if alreadyChild(st, p, child) {
@@ -242,7 +285,10 @@ func iterate(
 		}
 		st.Children[p] = append(st.Children[p], ChildRef{Node: child, Size: int(d.Msg.B)})
 		st.SubtreeSize[p] += int(d.Msg.B)
-		newParents[p] = true
+		if !sc.newPar.Has(p) {
+			sc.newPar.Set(p)
+			newParents++
+		}
 	}
 
 	// Remove children and (new) parents from Active (lines 10–12). A child
@@ -251,13 +297,13 @@ func iterate(
 	var batchChildren []int
 	next := (*current)[:0]
 	for _, v := range activeSet {
-		p, isChild := parentOf[v]
+		p, isChild := sc.parent.Get(v)
 		switch {
-		case isChild && alreadyChild(st, p, v):
-			st.Parent[v] = p
+		case isChild && alreadyChild(st, int(p), v):
+			st.Parent[v] = int(p)
 			batchChildren = append(batchChildren, v)
-		case newParents[v]:
-			prnts[v] = true
+		case sc.newPar.Has(v):
+			sc.prnts = append(sc.prnts, v)
 		default:
 			next = append(next, v)
 		}
@@ -267,7 +313,7 @@ func iterate(
 	if len(batchChildren) > 0 {
 		st.Batches = append(st.Batches, Batch{Sched: g.Sched, Children: batchChildren})
 	}
-	return len(batchChildren) > 0 || len(newParents) > 0, nil
+	return len(batchChildren) > 0 || newParents > 0, nil
 }
 
 // alreadyChild reports whether child is already recorded under p.
@@ -280,23 +326,25 @@ func alreadyChild(st *State, p, child int) bool {
 	return false
 }
 
-// independentSet computes Y: local minima by ID for clustered sets (as in
-// Lemma 8), the simulated deterministic MIS for unclustered ones (Lemma 9).
-func independentSet(env *sim.Env, g *proximity.Graph, activeSet []int, call Call) map[int]bool {
-	inY := make(map[int]bool, len(activeSet))
+// independentSet computes Y into sc.inY: local minima by ID for clustered
+// sets (as in Lemma 8), the simulated deterministic MIS for unclustered ones
+// (Lemma 9).
+func independentSet(env *sim.Env, g *proximity.Graph, activeSet []int, call Call, sc *scratch) {
+	sc.inY.Reset(env.F.N())
 	if call.Clustered {
 		for _, v := range activeSet {
 			minNb := -1
-			for _, u := range g.Adj[v] {
+			for _, u32 := range g.Adj.Neighbors(v) {
+				u := int(u32)
 				if minNb < 0 || env.IDs[u] < env.IDs[minNb] {
 					minNb = u
 				}
 			}
 			if minNb < 0 || env.IDs[v] < env.IDs[minNb] {
-				inY[v] = true
+				sc.inY.Set(v)
 			}
 		}
-		return inY
+		return
 	}
 	exchange := func(msgOf func(int) sim.Msg) []sim.Delivery {
 		return g.Sched.Run(env, activeSet, msgOf, activeSet)
@@ -307,5 +355,9 @@ func independentSet(env *sim.Env, g *proximity.Graph, activeSet []int, call Call
 		Seed:    call.Cfg.Seed,
 		Fast:    call.Cfg.FastMIS,
 	})
-	return res.InMIS
+	for _, v := range activeSet {
+		if res.InMIS[v] {
+			sc.inY.Set(v)
+		}
+	}
 }

@@ -8,6 +8,7 @@ package dcluster
 import (
 	"context"
 	"errors"
+	"math"
 	"reflect"
 	"sync"
 	"testing"
@@ -316,6 +317,42 @@ func TestNewNetworkValidatesIDs(t *testing.T) {
 	}
 	if _, err := NewNetwork(pts, WithIDs([]int{4, 3, 2, 1}, 4)); err != nil {
 		t.Errorf("valid IDs rejected: %v", err)
+	}
+}
+
+// TestWithIDsInt32Boundary pins the wire-format bound: protocol messages
+// carry IDs as int32, so math.MaxInt32 is the largest representable ID and
+// anything beyond must be rejected fail-fast with ErrBadOption — not
+// silently truncated into an aliasing collision at the first transmission.
+func TestWithIDsInt32Boundary(t *testing.T) {
+	pts := LinePath(4, 0.7)
+
+	// Exactly MaxInt32 is valid (construction only — running a protocol
+	// with an idBound this large would be absurdly slow, and validation is
+	// what this test pins).
+	ids := []int{1, 2, 3, math.MaxInt32}
+	if _, err := NewNetwork(pts, WithIDs(ids, math.MaxInt32)); err != nil {
+		t.Errorf("WithIDs at math.MaxInt32 rejected: %v", err)
+	}
+
+	// MaxInt32+1 overflows int on 32-bit platforms, so the rejection case
+	// only exists where int is wider than int32.
+	if math.MaxInt > math.MaxInt32 {
+		over64 := int64(math.MaxInt32) + 1
+		over := int(over64) // runtime conversion: exact on 64-bit, and this branch is dead on 32-bit
+		bads := [][]int{
+			{1, 2, 3, over}, // ID out of int32 range
+			{1, 2, 3, 4},    // IDs fine, bound itself unrepresentable
+		}
+		for _, bad := range bads {
+			_, err := NewNetwork(pts, WithIDs(bad, over))
+			if err == nil {
+				t.Fatalf("WithIDs(%v, MaxInt32+1) must fail fast", bad)
+			}
+			if !errors.Is(err, ErrBadOption) {
+				t.Errorf("want ErrBadOption-family error, got: %v", err)
+			}
+		}
 	}
 }
 

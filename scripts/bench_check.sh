@@ -7,7 +7,10 @@
 #
 # Runs the gated benchmarks (BenchmarkDeliver, BenchmarkDeliverDense,
 # BenchmarkRunOverhead) at
-# -benchtime=20x -count=3, takes the per-benchmark minimum (the noise on a
+# -benchtime=20x -count=3, plus the small-n algorithm-layer tier
+# (BenchmarkClustering at n∈{48,256}, BenchmarkTable1/ours at n∈{48,256},
+# BenchmarkAlgorithmSteadyState) at -benchtime=5x -count=3, takes the
+# per-benchmark minimum (the noise on a
 # shared runner is one-sided), and compares each ns_per_op against a
 # baseline in the benchstat manner (per-benchmark ratio against a fixed
 # threshold; the external benchstat binary is not required):
@@ -20,13 +23,20 @@
 #     same machine in the same job. This is what CI uses.
 #
 # Fails when any gated benchmark regresses by more than threshold_pct
-# (default 20%), or when BenchmarkRunOverhead/step reports non-zero
-# allocs/op — the allocation-free round loop is part of the gate. New
-# benchmarks (absent from the baseline) pass; improvements always pass.
+# (default 20%), or when BenchmarkRunOverhead/step or
+# BenchmarkAlgorithmSteadyState reports non-zero allocs/op — the
+# allocation-free round loop and the allocation-free steady-state algorithm
+# layer are both part of the gate. New benchmarks (absent from the baseline)
+# pass; improvements always pass.
 set -euo pipefail
 
 gate_pkgs=". ./internal/sinr/"
 gate_regex='^(BenchmarkDeliver|BenchmarkDeliverDense|BenchmarkRunOverhead)$'
+# Small-n algorithm-layer tier (root package only): end-to-end clustering and
+# local broadcast at n∈{48,256} plus the warmed-pass allocation gate. The
+# second regex element constrains BenchmarkTable1 to its ours/ rows (the
+# baselines are not gated).
+smalln_regex='^BenchmarkClustering$|^BenchmarkAlgorithmSteadyState$|^BenchmarkTable1$/^(ours|delta=.*|n=.*)$'
 
 mode="file"
 if [ "${1:-}" = "--git" ]; then
@@ -38,7 +48,9 @@ threshold="${2:-20}"
 cd "$(dirname "$0")/.."
 
 run_gated() { # run_gated <dir> <out> — per-benchmark min of 3 runs
-    (cd "$1" && go test -bench="$gate_regex" -benchtime=20x -benchmem -count=3 -run='^$' $gate_pkgs) |
+    { (cd "$1" && go test -bench="$gate_regex" -benchtime=20x -benchmem -count=3 -run='^$' $gate_pkgs)
+      (cd "$1" && go test -bench="$smalln_regex" -benchtime=5x -benchmem -count=3 -run='^$' .)
+    } |
         tee /dev/stderr |
         awk '/^Benchmark/ { name = $1
              if (!(name in best) || $3 + 0 < best[name] + 0) { best[name] = $3; line[name] = $0 } }
@@ -86,7 +98,8 @@ BEGIN {
     # Allocation gate for the round loop: metric value/unit pairs start at
     # field 5 ($3/$4 are the ns/op pair).
     for (i = 5; i + 1 <= NF; i += 2) {
-        if ($(i + 1) == "allocs/op" && name == "BenchmarkRunOverhead/step" && $i + 0 != 0) {
+        if ($(i + 1) == "allocs/op" && $i + 0 != 0 &&
+            (name == "BenchmarkRunOverhead/step" || name == "BenchmarkAlgorithmSteadyState")) {
             printf "FAIL %s: %s allocs/op, want 0\n", name, $i
             failures++
         }
